@@ -1,0 +1,364 @@
+// Benchmarks regenerating the ViteX paper's quantitative claims, one per
+// experiment in DESIGN.md §3 (run `go test -bench=. -benchmem`), plus the
+// ablations of DESIGN.md §5. cmd/vitexbench runs the same experiments at
+// paper scale with formatted report tables; these benches provide the
+// ns/op / B/op view over smaller, benchmark-friendly corpora.
+package vitex
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dom"
+	"repro/internal/naive"
+	"repro/internal/sax"
+	"repro/internal/twigm"
+	"repro/internal/xmlscan"
+	"repro/internal/xpath"
+)
+
+// proteinDoc caches a 4MiB protein corpus across benchmarks.
+var proteinDoc = func() string {
+	return datagen.Protein{TargetBytes: 4 << 20, Seed: 1}.String()
+}()
+
+// BenchmarkE1ParseOnly measures the SAX-parsing share of E1 (the paper's
+// 4.43s of 6.02s): a pure scan with a no-op handler.
+func BenchmarkE1ParseOnly(b *testing.B) {
+	nop := sax.HandlerFunc(func(*sax.Event) error { return nil })
+	b.SetBytes(int64(len(proteinDoc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := xmlscan.NewScanner(strings.NewReader(proteinDoc)).Run(nop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1ProteinQuery measures the full E1 pipeline:
+// //ProteinEntry[reference]/@id through parse + TwigM.
+func BenchmarkE1ProteinQuery(b *testing.B) {
+	prog := twigm.MustCompile(datagen.PaperProteinQuery)
+	b.SetBytes(int64(len(proteinDoc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run := prog.Start(twigm.Options{})
+		if err := xmlscan.NewScanner(strings.NewReader(proteinDoc)).Run(run); err != nil {
+			b.Fatal(err)
+		}
+		if run.Count() == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkE2Memory is E2's allocation view: B/op must stay flat across
+// input sizes (compare the E2Memory/1MB and /4MB lines), the benchmark form
+// of "memory stable at 1MB".
+func BenchmarkE2Memory(b *testing.B) {
+	prog := twigm.MustCompile(datagen.PaperProteinQuery)
+	for _, mb := range []int{1, 2, 4} {
+		doc := datagen.Protein{TargetBytes: int64(mb) << 20, Seed: 1}.String()
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: true})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+				peak := run.Stats().PeakStackEntries
+				if peak > 4 {
+					b.Fatalf("peak entries %d on shallow data", peak)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3DataScaling sweeps input size at fixed query: ns/op must scale
+// linearly with bytes (throughput column constant).
+func BenchmarkE3DataScaling(b *testing.B) {
+	prog := twigm.MustCompile(datagen.PaperProteinQuery)
+	for _, kb := range []int{256, 512, 1024, 2048} {
+		doc := datagen.Protein{TargetBytes: int64(kb) << 10, Seed: 1}.String()
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: true})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4QueryScaling sweeps query size over fixed recursive data:
+// polynomial (near-linear) growth expected, versus the exponential
+// pattern-match space.
+func BenchmarkE4QueryScaling(b *testing.B) {
+	doc := datagen.Book{SectionDepth: 12, TableDepth: 4, Repeat: 50, AuthorEvery: 1, PositionEvery: 1}.String()
+	for _, k := range []int{1, 2, 4, 8} {
+		src := strings.Repeat("//section", k) + "//cell"
+		prog := twigm.MustCompile(src)
+		b.Run(fmt.Sprintf("chain%d", k), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: true})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5NaiveVsTwigM is the central contrast of the paper's
+// motivation: explicit match enumeration vs compact encoding on recursive
+// chains. Compare naive/depth16 with twigm/depth16.
+func BenchmarkE5NaiveVsTwigM(b *testing.B) {
+	src := datagen.ChainQuery(3)
+	q := xpath.MustParse(src)
+	prog, err := twigm.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := naive.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{8, 12, 16} {
+		doc := datagen.RecursiveChain(depth)
+		b.Run(fmt.Sprintf("naive/depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run := eng.Start(naive.Options{})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("twigm/depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: true})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6PaperExample runs the figure-1 worked example end to end
+// (parse + machine + serialization).
+func BenchmarkE6PaperExample(b *testing.B) {
+	prog := twigm.MustCompile(datagen.PaperQuery)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, _, err := twigm.Collect(prog, xmlscan.NewScanner(strings.NewReader(datagen.PaperFigure1)), twigm.Options{})
+		if err != nil || len(results) != 1 {
+			b.Fatalf("results=%v err=%v", results, err)
+		}
+	}
+}
+
+// BenchmarkE7BuildLinear measures TwigM construction cost per query size
+// (claim 2: linear build).
+func BenchmarkE7BuildLinear(b *testing.B) {
+	for _, size := range []int{4, 16, 64} {
+		var sb strings.Builder
+		sb.WriteString("//n0")
+		for i := 1; i < size; i++ {
+			fmt.Fprintf(&sb, "//n%d", i)
+		}
+		q := xpath.MustParse(sb.String())
+		b.Run(fmt.Sprintf("size%d", q.Size()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := twigm.Compile(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Latency measures the ticker workload end to end, the substrate
+// of the incremental-delivery experiment.
+func BenchmarkE8Latency(b *testing.B) {
+	doc := datagen.Ticker{Trades: 5000, Seed: 1}.String()
+	prog := twigm.MustCompile("//trade[symbol='ACME']/price")
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run := prog.Start(twigm.Options{})
+		if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationEager compares eager satisfaction propagation (default;
+// enables incremental output) against pop-time-only propagation.
+func BenchmarkAblationEager(b *testing.B) {
+	doc := datagen.Book{SectionDepth: 8, TableDepth: 4, Repeat: 100, AuthorEvery: 2, PositionEvery: 2}.String()
+	prog := twigm.MustCompile(datagen.PaperQuery)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"eager", false}, {"popTime", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: true, DisableEagerPropagation: mode.disable})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPrune compares push-time pruning of dead entries
+// (attribute predicates known at push) against always-push.
+func BenchmarkAblationPrune(b *testing.B) {
+	// A corpus where most entries fail the attribute predicate.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&sb, `<item kind="k%d"><sub><val>%d</val></sub></item>`, i%10, i)
+	}
+	sb.WriteString("</r>")
+	doc := sb.String()
+	prog := twigm.MustCompile(`//item[@kind='k3']//val`)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"prune", false}, {"noPrune", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: true, DisablePrune: mode.disable})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScannerVsEncodingXML compares the two SAX front-ends; the choice
+// dominates E1's absolute numbers.
+func BenchmarkScannerVsEncodingXML(b *testing.B) {
+	nop := sax.HandlerFunc(func(*sax.Event) error { return nil })
+	b.Run("xmlscan", func(b *testing.B) {
+		b.SetBytes(int64(len(proteinDoc)))
+		for i := 0; i < b.N; i++ {
+			if err := xmlscan.NewScanner(strings.NewReader(proteinDoc)).Run(nop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encodingxml", func(b *testing.B) {
+		b.SetBytes(int64(len(proteinDoc)))
+		for i := 0; i < b.N; i++ {
+			if err := sax.NewStdDriver(strings.NewReader(proteinDoc)).Run(nop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuerySetSharedScan measures the multi-query extension: N queries
+// over one scan versus N separate scans.
+func BenchmarkQuerySetSharedScan(b *testing.B) {
+	doc := datagen.Ticker{Trades: 2000, Seed: 1}.String()
+	sources := []string{
+		"//trade[symbol='ACME']/price",
+		"//trade[symbol='GLOBEX']/price",
+		"//trade[price>150]/@seq",
+		"//trade/volume",
+	}
+	b.Run("shared", func(b *testing.B) {
+		qs, err := NewQuerySet(sources...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			if _, err := qs.Counts(strings.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("separate", func(b *testing.B) {
+		queries := make([]*Query, len(sources))
+		for i, src := range sources {
+			queries[i] = MustCompile(src)
+		}
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := q.Count(strings.NewReader(doc)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDOMBaseline measures the non-streaming baseline (build the whole
+// tree, then evaluate) for the motivation's contrast: correct but
+// memory-proportional-to-document.
+func BenchmarkDOMBaseline(b *testing.B) {
+	q := xpath.MustParse(datagen.PaperProteinQuery)
+	b.SetBytes(int64(len(proteinDoc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := dom.Build(xmlscan.NewScanner(strings.NewReader(proteinDoc)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(dom.Eval(d, q)); n == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkXPathParse measures query compilation front-to-back.
+func BenchmarkXPathParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := xpath.Parse(datagen.PaperQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFragmentSerialization measures result recording (element
+// fragments vs count-only).
+func BenchmarkFragmentSerialization(b *testing.B) {
+	doc := datagen.Book{SectionDepth: 4, TableDepth: 4, Repeat: 200, AuthorEvery: 1, PositionEvery: 1}.String()
+	prog := twigm.MustCompile("//table[position]")
+	for _, mode := range []struct {
+		name      string
+		countOnly bool
+	}{{"serialize", false}, {"countOnly", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run := prog.Start(twigm.Options{CountOnly: mode.countOnly})
+				if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

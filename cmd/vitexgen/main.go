@@ -1,0 +1,95 @@
+// Command vitexgen generates the XML corpora used by the ViteX experiments:
+// the PIR-shaped protein database (the paper's 75MB dataset [2]), recursive
+// book/section documents (figure 1 at scale), adversarial recursion chains,
+// and stock-ticker streams.
+//
+// Usage:
+//
+//	vitexgen -kind protein -mb 75 [-seed N] [-o file.xml]
+//	vitexgen -kind book -sections 3 -tables 3 -repeat 1000
+//	vitexgen -kind chain -depth 18
+//	vitexgen -kind ticker -trades 10000
+//	vitexgen -kind figure1
+//
+// Output goes to stdout unless -o is given.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vitexgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vitexgen", flag.ContinueOnError)
+	kind := fs.String("kind", "", "corpus kind: protein | book | chain | ticker | figure1")
+	out := fs.String("o", "", "output file (default stdout)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	mb := fs.Int("mb", 75, "protein: target size in MiB")
+	sections := fs.Int("sections", 3, "book: section nesting depth")
+	tables := fs.Int("tables", 3, "book: table nesting depth")
+	repeat := fs.Int("repeat", 1, "book: copies of the nested structure")
+	authorEvery := fs.Int("author-every", 1, "book: author in 1 of N copies (0=never)")
+	positionEvery := fs.Int("position-every", 1, "book: position in 1 of N copies (0=never)")
+	depth := fs.Int("depth", 12, "chain: recursion depth")
+	trades := fs.Int("trades", 1000, "ticker: number of trades")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+
+	switch *kind {
+	case "protein":
+		n, err := datagen.Protein{TargetBytes: int64(*mb) << 20, Seed: *seed}.WriteTo(w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes\n", n)
+		return nil
+	case "book":
+		_, err := io.WriteString(w, datagen.Book{
+			SectionDepth:  *sections,
+			TableDepth:    *tables,
+			Repeat:        *repeat,
+			AuthorEvery:   *authorEvery,
+			PositionEvery: *positionEvery,
+		}.String())
+		return err
+	case "chain":
+		_, err := io.WriteString(w, datagen.RecursiveChain(*depth))
+		return err
+	case "ticker":
+		_, err := io.WriteString(w, datagen.Ticker{Trades: *trades, Seed: *seed}.String())
+		return err
+	case "figure1":
+		_, err := io.WriteString(w, datagen.PaperFigure1)
+		return err
+	case "":
+		fs.Usage()
+		return fmt.Errorf("-kind is required")
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: compile a query, evaluate it over an in-memory document, and
+// stream results from a reader — the three-call tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	vitex "repro"
+)
+
+const doc = `
+<library>
+  <book year="2005">
+    <title>Streaming XPath Processing</title>
+    <author>Chen</author>
+    <author>Davidson</author>
+    <price>30</price>
+  </book>
+  <book year="1999">
+    <title>XML Path Language</title>
+    <author>Clark</author>
+    <price>25</price>
+  </book>
+  <journal year="2005">
+    <title>ICDE Proceedings</title>
+  </journal>
+</library>`
+
+func main() {
+	// 1. One-liner evaluation: compile and collect values.
+	q := vitex.MustCompile("//book[author]/title")
+	titles, err := q.EvaluateString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("titles of authored books:")
+	for _, t := range titles {
+		fmt.Println(" ", t)
+	}
+
+	// 2. Predicates with value comparisons, attribute outputs.
+	years := vitex.MustCompile("//book[price<28]/@year")
+	cheap, err := years.EvaluateString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("years of books under 28:", cheap)
+
+	// 3. Streaming: results arrive as soon as they are proven, with
+	//    event-level latency accounting.
+	stream := vitex.MustCompile("//*[title]/title/text()")
+	stats, err := stream.Stream(strings.NewReader(doc), vitex.Options{}, func(r vitex.Result) error {
+		fmt.Printf("streamed %q (proven at event %d)\n", r.Value, r.ConfirmedAt)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d events with %d stack pushes\n", stats.Events, stats.Pushes)
+
+	// 4. The compiled machine is inspectable (the paper's figure-3 view).
+	fmt.Println("TwigM machine for //book[author]/title:")
+	fmt.Print(q.MachineDescription())
+}

@@ -1,0 +1,74 @@
+// Stockticker demonstrates the paper's first motivating application (§1):
+// querying a live stock-market XML stream with incremental result delivery.
+// The stream is produced in one goroutine through an io.Pipe and consumed by
+// the TwigM machine in another; matching prices print the moment their
+// predicates are proven, while the "exchange" is still emitting trades —
+// requirement 2 of the paper ("incrementally produce and distribute query
+// results to end users before the data is completely received").
+//
+// Usage: stockticker [-symbol ACME] [-trades 2000] [-above 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"repro/internal/datagen"
+
+	vitex "repro"
+)
+
+func main() {
+	symbol := flag.String("symbol", "ACME", "symbol to watch")
+	trades := flag.Int("trades", 2000, "number of trades in the stream")
+	above := flag.Float64("above", 0, "only report prices above this value")
+	flag.Parse()
+
+	src := fmt.Sprintf("//trade[symbol='%s']/price", *symbol)
+	if *above > 0 {
+		src = fmt.Sprintf("//trade[symbol='%s' and price>%g]/price", *symbol, *above)
+	}
+	q, err := vitex.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("watching:", src)
+
+	// The producer goroutine plays the exchange, dribbling the document
+	// through a pipe in small chunks.
+	pr, pw := io.Pipe()
+	go func() {
+		doc := datagen.Ticker{Trades: *trades, Seed: 42}.String()
+		r := strings.NewReader(doc)
+		buf := make([]byte, 512)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				if _, werr := pw.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				pw.CloseWithError(nil)
+				return
+			}
+		}
+	}()
+
+	matches := 0
+	stats, err := q.Stream(pr, vitex.Options{}, func(r vitex.Result) error {
+		matches++
+		if matches <= 12 || matches%50 == 0 {
+			fmt.Printf("  %s trade #%d: %s (proven at stream event %d)\n", *symbol, matches, r.Value, r.ConfirmedAt)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d matching trades out of %d; %d stream events, peak %d machine entries\n",
+		matches, *trades, stats.Events, stats.PeakStackEntries)
+}

@@ -1,0 +1,216 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Book generates recursive book/section documents in the shape of the
+// paper's figure 1: nested sections containing nested tables with cells,
+// plus author and position elements that make the paper's predicates
+// selective. Recursion depth is the lever that makes the number of pattern
+// matches of //section//table//cell grow combinatorially — the workload of
+// experiment E5.
+type Book struct {
+	// SectionDepth is the nesting depth of sections (figure 1 uses 3).
+	SectionDepth int
+	// TableDepth is the nesting depth of tables inside the innermost
+	// section (figure 1 uses 3).
+	TableDepth int
+	// Repeat lays out this many independent copies of the nested
+	// structure under the root, scaling data size without deepening
+	// recursion.
+	Repeat int
+	// AuthorEvery places an <author> in one out of this many outermost
+	// sections (1 = every copy, 0 = never), controlling predicate
+	// selectivity.
+	AuthorEvery int
+	// PositionEvery places a <position> next to the outermost table of
+	// one out of this many copies (1 = every copy, 0 = never).
+	PositionEvery int
+}
+
+// Figure1Shape is the configuration matching the paper's figure 1 document.
+var Figure1Shape = Book{SectionDepth: 3, TableDepth: 3, Repeat: 1, AuthorEvery: 1, PositionEvery: 1}
+
+// String renders the document.
+func (b Book) String() string {
+	var sb strings.Builder
+	sb.WriteString("<book>\n")
+	for i := 0; i < b.Repeat; i++ {
+		b.writeCopy(&sb, i)
+	}
+	sb.WriteString("</book>\n")
+	return sb.String()
+}
+
+func (b Book) writeCopy(sb *strings.Builder, i int) {
+	for d := 0; d < b.SectionDepth; d++ {
+		sb.WriteString(strings.Repeat(" ", d+1))
+		sb.WriteString("<section>\n")
+	}
+	ind := strings.Repeat(" ", b.SectionDepth+1)
+	for d := 0; d < b.TableDepth; d++ {
+		sb.WriteString(ind + strings.Repeat(" ", d))
+		sb.WriteString("<table>\n")
+	}
+	sb.WriteString(ind + strings.Repeat(" ", b.TableDepth))
+	fmt.Fprintf(sb, "<cell>C%d</cell>\n", i)
+	for d := b.TableDepth - 1; d >= 0; d-- {
+		if d == 0 && b.PositionEvery > 0 && i%b.PositionEvery == 0 {
+			sb.WriteString(ind + strings.Repeat(" ", d))
+			sb.WriteString("<position>B</position>\n")
+		}
+		sb.WriteString(ind + strings.Repeat(" ", d))
+		sb.WriteString("</table>\n")
+	}
+	for d := b.SectionDepth - 1; d >= 0; d-- {
+		if d == 0 && b.AuthorEvery > 0 && i%b.AuthorEvery == 0 {
+			sb.WriteString(strings.Repeat(" ", d+1))
+			sb.WriteString("<author>C</author>\n")
+		}
+		sb.WriteString(strings.Repeat(" ", d+1))
+		sb.WriteString("</section>\n")
+	}
+}
+
+// RecursiveChain produces the minimal adversarial input for match
+// enumeration: depth nested <a> elements around a single <b/>. Against
+// chain queries //a//a…//b the naive engine materializes one partial match
+// per combination of a-levels — binomial growth — while TwigM's stacks stay
+// linear.
+func RecursiveChain(depth int) string {
+	return strings.Repeat("<a>", depth) + "<b/>" + strings.Repeat("</a>", depth)
+}
+
+// ChainQuery builds the query //a//a…(k times)…//b used by E5.
+func ChainQuery(k int) string {
+	return strings.Repeat("//a", k) + "//b"
+}
+
+// RandomTree generates a random labeled tree for property-based testing.
+// All randomness comes from rng, so a seeded rng reproduces the document.
+type RandomTree struct {
+	// MaxDepth bounds nesting; MaxFanout bounds children per element.
+	MaxDepth  int
+	MaxFanout int
+	// Labels is the element alphabet; small alphabets force recursion
+	// and label collisions, the hard cases for streaming evaluation.
+	Labels []string
+	// AttrProb/TextProb are per-element probabilities of carrying an
+	// attribute (named from Attrs) or a text child.
+	AttrProb float64
+	TextProb float64
+	Attrs    []string
+	// Texts is the text alphabet (short values so comparisons hit).
+	Texts []string
+}
+
+// DefaultRandomTree is tuned for the cross-engine property tests: four
+// labels, depth 7, heavy recursion.
+var DefaultRandomTree = RandomTree{
+	MaxDepth:  7,
+	MaxFanout: 4,
+	Labels:    []string{"a", "b", "c", "d"},
+	AttrProb:  0.3,
+	TextProb:  0.4,
+	Attrs:     []string{"id", "k"},
+	Texts:     []string{"1", "2", "3", "x", "y"},
+}
+
+// Generate renders one random document.
+func (rt RandomTree) Generate(rng *rand.Rand) string {
+	var sb strings.Builder
+	rt.element(&sb, rng, 1)
+	return sb.String()
+}
+
+func (rt RandomTree) element(sb *strings.Builder, rng *rand.Rand, depth int) {
+	label := rt.Labels[rng.Intn(len(rt.Labels))]
+	sb.WriteString("<" + label)
+	if rng.Float64() < rt.AttrProb {
+		attr := rt.Attrs[rng.Intn(len(rt.Attrs))]
+		fmt.Fprintf(sb, " %s=%q", attr, rt.Texts[rng.Intn(len(rt.Texts))])
+	}
+	kids := 0
+	if depth < rt.MaxDepth {
+		kids = rng.Intn(rt.MaxFanout + 1)
+	}
+	if kids == 0 && rng.Float64() >= rt.TextProb {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteString(">")
+	if rng.Float64() < rt.TextProb {
+		sb.WriteString(rt.Texts[rng.Intn(len(rt.Texts))])
+	}
+	for i := 0; i < kids; i++ {
+		rt.element(sb, rng, depth+1)
+		if rng.Float64() < rt.TextProb/2 {
+			sb.WriteString(rt.Texts[rng.Intn(len(rt.Texts))])
+		}
+	}
+	sb.WriteString("</" + label + ">")
+}
+
+// RandomQuery generates a random query in the supported fragment over the
+// same alphabet as a RandomTree, for property-based engine equivalence. Set
+// conjunctiveOnly to stay inside the naive engine's fragment.
+func RandomQuery(rng *rand.Rand, rt RandomTree, conjunctiveOnly bool) string {
+	var sb strings.Builder
+	steps := 1 + rng.Intn(3)
+	for i := 0; i < steps; i++ {
+		if rng.Intn(2) == 0 {
+			sb.WriteString("/")
+		} else {
+			sb.WriteString("//")
+		}
+		label := rt.Labels[rng.Intn(len(rt.Labels))]
+		if rng.Intn(8) == 0 {
+			label = "*"
+		}
+		sb.WriteString(label)
+		if rng.Intn(3) == 0 {
+			sb.WriteString(randomPredicate(rng, rt, conjunctiveOnly))
+		}
+	}
+	// Occasionally end on an attribute or text() step.
+	switch rng.Intn(6) {
+	case 0:
+		sb.WriteString("/@" + rt.Attrs[rng.Intn(len(rt.Attrs))])
+	case 1:
+		sb.WriteString("/text()")
+	}
+	return sb.String()
+}
+
+func randomPredicate(rng *rand.Rand, rt RandomTree, conjunctiveOnly bool) string {
+	leaf := func() string {
+		switch rng.Intn(5) {
+		case 0:
+			return "@" + rt.Attrs[rng.Intn(len(rt.Attrs))]
+		case 1:
+			return fmt.Sprintf("@%s='%s'", rt.Attrs[rng.Intn(len(rt.Attrs))], rt.Texts[rng.Intn(len(rt.Texts))])
+		case 2:
+			return fmt.Sprintf("%s='%s'", rt.Labels[rng.Intn(len(rt.Labels))], rt.Texts[rng.Intn(len(rt.Texts))])
+		case 3:
+			axis := ""
+			if rng.Intn(2) == 0 {
+				axis = ".//"
+			}
+			return axis + rt.Labels[rng.Intn(len(rt.Labels))]
+		default:
+			return rt.Labels[rng.Intn(len(rt.Labels))] + "/" + rt.Labels[rng.Intn(len(rt.Labels))]
+		}
+	}
+	p := leaf()
+	if rng.Intn(3) == 0 {
+		conn := " and "
+		if !conjunctiveOnly && rng.Intn(2) == 0 {
+			conn = " or "
+		}
+		p += conn + leaf()
+	}
+	return "[" + p + "]"
+}

@@ -1,0 +1,152 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sax"
+)
+
+// wellFormed checks a generated document parses with the std front-end.
+func wellFormed(t *testing.T, doc string) (elements, texts int) {
+	t.Helper()
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		switch ev.Kind {
+		case sax.StartElement:
+			elements++
+		case sax.Text:
+			texts++
+		}
+		return nil
+	})
+	if err := sax.NewStdDriver(strings.NewReader(doc)).Run(h); err != nil {
+		t.Fatalf("generated document malformed: %v\nhead: %.200s", err, doc)
+	}
+	return
+}
+
+func TestPaperFigure1WellFormed(t *testing.T) {
+	els, _ := wellFormed(t, PaperFigure1)
+	if els != 10 {
+		t.Fatalf("figure 1 has %d elements, want 10", els)
+	}
+}
+
+func TestProteinDeterministic(t *testing.T) {
+	p := Protein{TargetBytes: 50 << 10, Seed: 7}
+	a, b := p.String(), p.String()
+	if a != b {
+		t.Fatal("protein generator not deterministic")
+	}
+}
+
+func TestProteinShape(t *testing.T) {
+	p := Protein{TargetBytes: 200 << 10, Seed: 1}
+	doc := p.String()
+	if int64(len(doc)) < p.TargetBytes {
+		t.Fatalf("size %d < target %d", len(doc), p.TargetBytes)
+	}
+	if int64(len(doc)) > p.TargetBytes*2 {
+		t.Fatalf("size %d overshoots target %d", len(doc), p.TargetBytes)
+	}
+	wellFormed(t, doc)
+	entries, withRef := p.Counts()
+	if entries == 0 || withRef == 0 || withRef >= entries {
+		t.Fatalf("counts: entries=%d withRef=%d", entries, withRef)
+	}
+	if got := strings.Count(doc, "<ProteinEntry "); got != entries {
+		t.Fatalf("Counts()=%d but document has %d entries", entries, got)
+	}
+	// ~7/8 of entries carry references.
+	if ratio := float64(withRef) / float64(entries); ratio < 0.75 || ratio > 0.98 {
+		t.Fatalf("reference ratio %.2f outside [0.75, 0.98]", ratio)
+	}
+}
+
+func TestProteinStreamingMatchesString(t *testing.T) {
+	p := Protein{TargetBytes: 30 << 10, Seed: 3}
+	var sb strings.Builder
+	n, err := p.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != p.String() {
+		t.Fatal("WriteTo and String disagree")
+	}
+	if n != int64(len(sb.String())) {
+		t.Fatalf("reported %d bytes, wrote %d", n, sb.Len())
+	}
+}
+
+func TestBookFigure1Shape(t *testing.T) {
+	doc := Figure1Shape.String()
+	els, _ := wellFormed(t, doc)
+	// book + 3 sections + 3 tables + cell + position + author = 10
+	if els != 10 {
+		t.Fatalf("figure1 shape has %d elements, want 10", els)
+	}
+	for _, want := range []string{"<section>", "<table>", "<cell>", "<position>", "<author>"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("missing %s in:\n%s", want, doc)
+		}
+	}
+}
+
+func TestBookRepeat(t *testing.T) {
+	b := Book{SectionDepth: 2, TableDepth: 2, Repeat: 5, AuthorEvery: 2, PositionEvery: 1}
+	doc := b.String()
+	wellFormed(t, doc)
+	if got := strings.Count(doc, "<cell>"); got != 5 {
+		t.Fatalf("cells = %d, want 5", got)
+	}
+	if got := strings.Count(doc, "<author>"); got != 3 { // copies 0,2,4
+		t.Fatalf("authors = %d, want 3", got)
+	}
+}
+
+func TestRecursiveChain(t *testing.T) {
+	doc := RecursiveChain(5)
+	wellFormed(t, doc)
+	if strings.Count(doc, "<a>") != 5 || strings.Count(doc, "<b/>") != 1 {
+		t.Fatalf("bad chain: %s", doc)
+	}
+	if q := ChainQuery(3); q != "//a//a//a//b" {
+		t.Fatalf("ChainQuery(3) = %q", q)
+	}
+}
+
+func TestRandomTreeWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		doc := DefaultRandomTree.Generate(rng)
+		wellFormed(t, doc)
+	}
+}
+
+func TestRandomQueryParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		q := RandomQuery(rng, DefaultRandomTree, i%2 == 0)
+		if q == "" {
+			t.Fatal("empty query")
+		}
+		// Parsing is validated in the integration package (avoiding an
+		// import cycle here); check basic shape.
+		if !strings.HasPrefix(q, "/") {
+			t.Fatalf("query %q must be absolute", q)
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	tk := Ticker{Trades: 50, Seed: 9}
+	doc := tk.String()
+	els, _ := wellFormed(t, doc)
+	if els != 1+50*4 { // ticker + (trade, symbol, price, volume) each
+		t.Fatalf("elements = %d", els)
+	}
+	if tk.String() != doc {
+		t.Fatal("ticker not deterministic")
+	}
+}

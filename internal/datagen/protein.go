@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Protein generates a deterministic corpus shaped like the Protein Sequence
+// Database of Georgetown PIR — the 75MB dataset of the paper's experiments
+// ([2]; the original file is no longer distributed). The generator preserves
+// the properties the paper's numbers depend on: a shallow (depth ≤ 6),
+// non-recursive, very wide document (hundreds of thousands of ProteinEntry
+// records), ~90% of bytes in text/attribute content, and the elements the
+// paper's query touches (//ProteinEntry[reference]/@id). About 1 in 8
+// entries has no reference child, so the paper's query is selective.
+type Protein struct {
+	// TargetBytes is the approximate output size (the generator stops
+	// after the entry that crosses the target). 75<<20 reproduces the
+	// paper's dataset scale.
+	TargetBytes int64
+	// Seed makes the corpus reproducible.
+	Seed int64
+}
+
+// aminoAcids is the 20-letter protein alphabet used for sequences.
+const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
+
+var organisms = []string{
+	"Homo sapiens", "Mus musculus", "Rattus norvegicus", "Escherichia coli",
+	"Saccharomyces cerevisiae", "Drosophila melanogaster", "Arabidopsis thaliana",
+	"Caenorhabditis elegans", "Danio rerio", "Gallus gallus",
+}
+
+var journals = []string{
+	"J. Biol. Chem.", "Proc. Natl. Acad. Sci. U.S.A.", "Nucleic Acids Res.",
+	"EMBO J.", "Biochemistry", "FEBS Lett.", "Nature", "Science",
+}
+
+var surnames = []string{
+	"Chen", "Davidson", "Zheng", "Smith", "Garcia", "Kumar", "Sato",
+	"Mueller", "Rossi", "Kim", "Olsen", "Novak", "Silva", "Dubois",
+}
+
+// WriteTo streams the corpus to w and returns the number of bytes written.
+func (p Protein) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countWriter{w: bw}
+	rng := rand.New(rand.NewSource(p.Seed))
+	if _, err := io.WriteString(cw, "<ProteinDatabase>\n"); err != nil {
+		return cw.n, err
+	}
+	for i := 0; cw.n < p.TargetBytes; i++ {
+		if _, err := writeEntry(cw, rng, i); err != nil {
+			return cw.n, err
+		}
+	}
+	if _, err := io.WriteString(cw, "</ProteinDatabase>\n"); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// String renders the corpus in memory (tests and small examples only).
+func (p Protein) String() string {
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}
+
+// Counts returns how many ProteinEntry records a corpus of this
+// configuration contains, and how many of them carry a reference child (the
+// cardinality of the paper's query //ProteinEntry[reference]/@id). It
+// regenerates the corpus into a counting sink, so it is exactly consistent
+// with WriteTo.
+func (p Protein) Counts() (entries, withRef int) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	cw := &countWriter{w: io.Discard}
+	if _, err := io.WriteString(cw, "<ProteinDatabase>\n"); err != nil {
+		return 0, 0
+	}
+	for cw.n < p.TargetBytes {
+		hasRef, err := writeEntry(cw, rng, entries)
+		if err != nil {
+			return entries, withRef
+		}
+		entries++
+		if hasRef {
+			withRef++
+		}
+	}
+	return entries, withRef
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeEntry(w io.Writer, rng *rand.Rand, i int) (hasRef bool, err error) {
+	id := fmt.Sprintf("PIR%07d", i)
+	org := organisms[rng.Intn(len(organisms))]
+	name := proteinName(rng)
+	hasRef = rng.Intn(8) != 0 // ~7/8 of entries carry references
+	seq := randomSeq(rng, 120+rng.Intn(360))
+	var b strings.Builder
+	fmt.Fprintf(&b, "<ProteinEntry id=\"%s\">\n", id)
+	fmt.Fprintf(&b, " <header>\n  <uid>%s</uid>\n  <accession>A%06d</accession>\n  <created_date>%02d-%s-%d</created_date>\n </header>\n",
+		id, i, 1+rng.Intn(28), []string{"Jan", "Apr", "Jul", "Oct"}[rng.Intn(4)], 1988+rng.Intn(14))
+	fmt.Fprintf(&b, " <protein>\n  <name>%s</name>\n  <classification><superfamily>%s superfamily</superfamily></classification>\n </protein>\n",
+		name, name)
+	if hasRef {
+		nrefs := 1 + rng.Intn(3)
+		for j := 0; j < nrefs; j++ {
+			fmt.Fprintf(&b, " <reference>\n  <refinfo refid=\"%s.%d\">\n   <authors>\n", id, j)
+			nauth := 1 + rng.Intn(4)
+			for k := 0; k < nauth; k++ {
+				fmt.Fprintf(&b, "    <author>%s, %c.</author>\n",
+					surnames[rng.Intn(len(surnames))], 'A'+rune(rng.Intn(26)))
+			}
+			fmt.Fprintf(&b, "   </authors>\n   <citation>%s</citation>\n   <year>%d</year>\n  </refinfo>\n </reference>\n",
+				journals[rng.Intn(len(journals))], 1970+rng.Intn(32))
+		}
+	}
+	fmt.Fprintf(&b, " <organism>\n  <source>%s</source>\n  <common>%s</common>\n </organism>\n", org, org)
+	fmt.Fprintf(&b, " <summary>\n  <length>%d</length>\n  <type>complete</type>\n </summary>\n", len(seq))
+	fmt.Fprintf(&b, " <sequence>%s</sequence>\n</ProteinEntry>\n", seq)
+	_, err = io.WriteString(w, b.String())
+	return hasRef, err
+}
+
+func proteinName(rng *rand.Rand) string {
+	prefixes := []string{"cytochrome", "kinase", "hemoglobin", "ferredoxin", "ubiquitin",
+		"actin", "myosin", "histone", "collagen", "insulin"}
+	suffixes := []string{"alpha chain", "beta chain", "precursor", "isoform 2", "fragment",
+		"family member", "homolog", "subunit"}
+	return prefixes[rng.Intn(len(prefixes))] + " " + suffixes[rng.Intn(len(suffixes))]
+}
+
+func randomSeq(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = aminoAcids[rng.Intn(len(aminoAcids))]
+	}
+	return string(b)
+}

@@ -1,0 +1,48 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Ticker generates a stock-market event stream — the first motivating
+// application of the paper's introduction ("stock market data, sports
+// tickers, electronic personalized newspapers"). Each trade is a small
+// element with symbol, price and volume; queries like
+// //trade[symbol='ACME']/price exercise incremental result delivery
+// (experiment E8): solutions must flow out long before the stream ends.
+type Ticker struct {
+	// Trades is the number of trade records.
+	Trades int
+	// Symbols is the symbol universe (uniformly drawn).
+	Symbols []string
+	// Seed seeds the deterministic stream.
+	Seed int64
+}
+
+// DefaultSymbols is a small symbol universe.
+var DefaultSymbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA", "STARK", "WAYNE"}
+
+// String renders the whole stream as one document.
+func (tk Ticker) String() string {
+	symbols := tk.Symbols
+	if len(symbols) == 0 {
+		symbols = DefaultSymbols
+	}
+	rng := rand.New(rand.NewSource(tk.Seed))
+	var sb strings.Builder
+	sb.WriteString("<ticker>\n")
+	price := make(map[string]float64, len(symbols))
+	for _, s := range symbols {
+		price[s] = 20 + rng.Float64()*180
+	}
+	for i := 0; i < tk.Trades; i++ {
+		sym := symbols[rng.Intn(len(symbols))]
+		price[sym] *= 1 + (rng.Float64()-0.5)*0.02
+		fmt.Fprintf(&sb, " <trade seq=\"%d\">\n  <symbol>%s</symbol>\n  <price>%.2f</price>\n  <volume>%d</volume>\n </trade>\n",
+			i, sym, price[sym], 100*(1+rng.Intn(50)))
+	}
+	sb.WriteString("</ticker>\n")
+	return sb.String()
+}

@@ -1,0 +1,220 @@
+package dom
+
+import (
+	"repro/internal/xpath"
+)
+
+// Eval evaluates a parsed query against the document and returns the result
+// nodes in document order without duplicates. This is the oracle semantics
+// every streaming engine is tested against.
+func Eval(doc *Document, q *xpath.Query) []*Node {
+	if doc == nil || doc.Root == nil {
+		return nil
+	}
+	// The context set starts as the document node, represented by nil:
+	// step axes from the document node reach the root element (child) or
+	// every element (descendant).
+	cur := []*Node{}
+	first := q.Root
+	for _, m := range axisSet(doc, nil, first) {
+		if nodeSatisfies(m, first) {
+			cur = append(cur, m)
+		}
+	}
+	cur = SortNodes(cur)
+	for step := first.Next; step != nil; step = step.Next {
+		var next []*Node
+		for _, n := range cur {
+			for _, m := range axisSet(doc, n, step) {
+				if nodeSatisfies(m, step) {
+					next = append(next, m)
+				}
+			}
+		}
+		cur = SortNodes(next)
+	}
+	return cur
+}
+
+// EvalString parses and evaluates a query given as text, including unions;
+// it panics on parse errors (test helper).
+func EvalString(doc *Document, query string) []*Node {
+	qs, err := xpath.ParseUnion(query)
+	if err != nil {
+		panic(err)
+	}
+	return EvalUnion(doc, qs)
+}
+
+// EvalUnion evaluates each branch and merges the result sets: set union,
+// deduplicated by node, in document order — XPath's '|' semantics.
+func EvalUnion(doc *Document, qs []*xpath.Query) []*Node {
+	var all []*Node
+	for _, q := range qs {
+		all = append(all, Eval(doc, q)...)
+	}
+	return SortNodes(all)
+}
+
+// axisSet returns the nodes reachable from context n (nil = document node)
+// via step's axis that pass the step's node test (kind and name), in
+// document order.
+func axisSet(doc *Document, n *Node, step *xpath.Node) []*Node {
+	var out []*Node
+	add := func(m *Node) {
+		if nodeTest(m, step) {
+			out = append(out, m)
+		}
+	}
+	if n == nil {
+		// From the document node.
+		switch step.Axis {
+		case xpath.Child:
+			if step.Kind == xpath.Element {
+				add(doc.Root)
+			}
+			// The document node has no attributes or text children.
+		case xpath.Descendant:
+			switch step.Kind {
+			case xpath.Attribute:
+				// //@id from the document: attributes of any element.
+				walkAttrs(doc.Root, add)
+			default:
+				add(doc.Root)
+				walkDescendants(doc.Root, add)
+			}
+		}
+		return out
+	}
+	return axisSetLocal(n, step)
+}
+
+// walkDescendants calls add for every proper descendant (elements and text)
+// of n in document order.
+func walkDescendants(n *Node, add func(*Node)) {
+	for _, c := range n.Children {
+		add(c)
+		if c.Kind == ElementNode {
+			walkDescendants(c, add)
+		}
+	}
+}
+
+// walkAttrs calls add for every attribute node of n and its element
+// descendants (the self-or-descendant attribute set), in document order.
+func walkAttrs(n *Node, add func(*Node)) {
+	for i := range n.Attrs {
+		add(n.AttrNode(i))
+	}
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			walkAttrs(c, add)
+		}
+	}
+}
+
+// nodeTest checks kind and name only.
+func nodeTest(m *Node, step *xpath.Node) bool {
+	switch step.Kind {
+	case xpath.Element:
+		return m.Kind == ElementNode && (step.Name == "*" || step.Name == m.Name)
+	case xpath.Attribute:
+		return m.Kind == AttrNode && step.Name == m.Name
+	default:
+		return m.Kind == TextNode
+	}
+}
+
+// nodeSatisfies checks the step's predicate expression and value comparison
+// against m (structure tests already done by axisSet).
+func nodeSatisfies(m *Node, step *xpath.Node) bool {
+	if step.Cmp != nil && !step.Cmp.Eval(m.StringValue()) {
+		return false
+	}
+	return evalPred(m, step.Pred)
+}
+
+func evalPred(m *Node, p *xpath.PredExpr) bool {
+	if p == nil {
+		return true
+	}
+	switch p.Op {
+	case xpath.PredTrue:
+		return true
+	case xpath.PredSelf:
+		return p.Self.Eval(m.StringValue())
+	case xpath.PredLeaf:
+		return existsMatch(m, p.Leaf)
+	case xpath.PredAnd:
+		for _, k := range p.Kids {
+			if !evalPred(m, k) {
+				return false
+			}
+		}
+		return true
+	default: // PredOr
+		for _, k := range p.Kids {
+			if evalPred(m, k) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// existsMatch reports whether some node reachable from context n via chain's
+// axis matches the whole chain (node test, comparison, predicates, and the
+// chain continuation).
+func existsMatch(n *Node, chain *xpath.Node) bool {
+	for _, m := range axisSetLocal(n, chain) {
+		if matchesSubtree(m, chain) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchesSubtree(m *Node, chain *xpath.Node) bool {
+	if !nodeSatisfies(m, chain) {
+		return false
+	}
+	if chain.Next == nil {
+		return true
+	}
+	return existsMatch(m, chain.Next)
+}
+
+// axisSetLocal is axisSet for non-document contexts (text and attribute
+// nodes have no children, so only elements yield matches).
+func axisSetLocal(n *Node, step *xpath.Node) []*Node {
+	if n.Kind != ElementNode {
+		return nil
+	}
+	var out []*Node
+	add := func(m *Node) {
+		if nodeTest(m, step) {
+			out = append(out, m)
+		}
+	}
+	switch step.Kind {
+	case xpath.Attribute:
+		if step.Axis == xpath.Child {
+			for i := range n.Attrs {
+				add(n.AttrNode(i))
+			}
+		} else {
+			// '//@a' expands through descendant-or-self: attributes
+			// of n itself or of any descendant element.
+			walkAttrs(n, add)
+		}
+	default:
+		if step.Axis == xpath.Child {
+			for _, c := range n.Children {
+				add(c)
+			}
+		} else {
+			walkDescendants(n, add)
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig runs at reduced scale (2MB protein) so the suite stays fast;
+// the shapes under test are already visible there.
+func testConfig(t *testing.T) Config {
+	return Config{ProteinMB: 2, Seed: 1, Dir: t.TempDir()}
+}
+
+func TestE1ParseDominated(t *testing.T) {
+	res, err := testConfig(t).RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solutions == 0 {
+		t.Fatal("no solutions")
+	}
+	// The paper's shape: parsing is the dominant cost (74% there). Our
+	// assertion is weaker but directional: parse alone costs more than
+	// a third of the full pipeline.
+	if res.ParseShare < 0.33 {
+		t.Fatalf("parse share %.2f — pipeline is not parse-dominated", res.ParseShare)
+	}
+	if !strings.Contains(res.Table, "SAX parse only") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestE2MemoryFlat(t *testing.T) {
+	res, err := testConfig(t).RunE2([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PeakHeap) != 3 {
+		t.Fatalf("peaks: %v", res.PeakHeap)
+	}
+	// Flatness: peak at 4MB must be within 4x of peak at 1MB (the paper
+	// reports a constant; GC noise makes exact equality unrealistic).
+	if res.PeakHeap[2] > 4*res.PeakHeap[0]+(8<<20) {
+		t.Fatalf("memory grows with input: %v", res.PeakHeap)
+	}
+	// Machine entries are the real invariant: bounded by depth×|Q|,
+	// identical across sizes.
+	if res.PeakStack[0] != res.PeakStack[2] {
+		t.Fatalf("peak stack entries vary with size: %v", res.PeakStack)
+	}
+}
+
+func TestE3Linear(t *testing.T) {
+	res, err := testConfig(t).RunE3([]int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit.B <= 0 {
+		t.Fatalf("fit: %+v", res.Fit)
+	}
+	if res.Fit.R2 < 0.9 {
+		t.Fatalf("time vs size not linear: R²=%.3f times=%v", res.Fit.R2, res.Times)
+	}
+}
+
+func TestE4Polynomial(t *testing.T) {
+	res, err := testConfig(t).RunE4(6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 6 {
+		t.Fatalf("times: %v", res.Times)
+	}
+	// Polynomial (not exponential) growth: doubling the chain length
+	// must grow time far less than the pattern-match count (which grows
+	// as C(12,k)). Allow a generous polynomial factor of 50 between k=3
+	// and k=6, versus the >1000x a match-enumerating engine shows.
+	if res.Times[5] > 50*res.Times[2]+time.Millisecond {
+		t.Fatalf("time grows too fast with |Q|: %v", res.Times)
+	}
+}
+
+func TestE5NaiveBlowsUp(t *testing.T) {
+	res, err := testConfig(t).RunE5([]int{6, 10, 14}, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive match storage grows superlinearly: C(6,3)=20, C(10,3)=120,
+	// C(14,3)=364 full embeddings plus partials.
+	if !(res.NaivePeak[0] < res.NaivePeak[1] && res.NaivePeak[1] < res.NaivePeak[2]) {
+		t.Fatalf("naive peaks not growing: %v", res.NaivePeak)
+	}
+	growthNaive := float64(res.NaivePeak[2]) / float64(res.NaivePeak[0])
+	growthTwigM := float64(res.TwigMPeak[2]) / float64(res.TwigMPeak[0])
+	if growthNaive < 4*growthTwigM {
+		t.Fatalf("naive growth %.1fx vs twigm %.1fx — blowup not visible", growthNaive, growthTwigM)
+	}
+	// TwigM stays linear in depth.
+	if res.TwigMPeak[2] > 4*14 {
+		t.Fatalf("twigm peak %d not linear in depth", res.TwigMPeak[2])
+	}
+}
+
+func TestE5bExponentialInQuerySize(t *testing.T) {
+	res, err := testConfig(t).RunE5b(14, 5, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive peak tracks C(14,k): 14, 91, 364, 1001, 2002 full spine
+	// embeddings (plus partials) — strictly accelerating growth.
+	for i := 1; i < len(res.NaivePeak); i++ {
+		if res.NaivePeak[i] <= res.NaivePeak[i-1] {
+			t.Fatalf("naive peaks not growing: %v", res.NaivePeak)
+		}
+	}
+	ratioNaive := float64(res.NaivePeak[4]) / float64(res.NaivePeak[0])
+	ratioTwigM := float64(res.TwigMPeak[4]) / float64(res.TwigMPeak[0])
+	if ratioNaive < 10*ratioTwigM {
+		t.Fatalf("naive %.0fx vs twigm %.0fx across |Q| sweep", ratioNaive, ratioTwigM)
+	}
+	// TwigM grows linearly in |Q|: k+1 stacks, ≤ depth entries each.
+	if res.TwigMPeak[4] > 14*6 {
+		t.Fatalf("twigm peak %d not linear", res.TwigMPeak[4])
+	}
+}
+
+func TestE6PaperExample(t *testing.T) {
+	res, err := testConfig(t).RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0] != "<cell> A </cell>" {
+		t.Fatalf("solutions: %q", res.Solutions)
+	}
+	if !strings.Contains(res.Machine, "=cell *") {
+		t.Fatalf("machine:\n%s", res.Machine)
+	}
+}
+
+func TestE7BuildLinear(t *testing.T) {
+	res, err := testConfig(t).RunE7([]int{1, 9, 17, 33, 63}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit.R2 < 0.8 || res.Fit.B <= 0 {
+		t.Fatalf("build time not linear: %+v times=%v", res.Fit, res.BuildTimes)
+	}
+	// A 63-node machine must build in well under a millisecond.
+	if res.BuildTimes[len(res.BuildTimes)-1] > time.Millisecond {
+		t.Fatalf("build too slow: %v", res.BuildTimes)
+	}
+}
+
+func TestE9SharedScanWins(t *testing.T) {
+	res, err := testConfig(t).RunE9(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six queries share one parse: the shared strategy must beat one
+	// pass per query (conservatively, by at least 1.5x — measured ~2-4x).
+	if res.Speedup < 1.5 {
+		t.Fatalf("shared-scan speedup only %.2fx (shared=%v separate=%v)",
+			res.Speedup, res.SharedTime, res.SeparateT)
+	}
+}
+
+func TestE8Incremental(t *testing.T) {
+	res, err := testConfig(t).RunE8(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solutions == 0 {
+		t.Fatal("no solutions")
+	}
+	if res.FirstAtFrac > 0.10 {
+		t.Fatalf("first result at %.0f%% of stream — not incremental", res.FirstAtFrac*100)
+	}
+	// price confirms when its trade's symbol has already been seen...
+	// symbol precedes price, so lag should be small (within the trade).
+	if res.MeanLagEvents > 10 {
+		t.Fatalf("mean lag %.1f events", res.MeanLagEvents)
+	}
+}

@@ -1,0 +1,56 @@
+package naive
+
+import (
+	"repro/internal/sax"
+	"repro/internal/xmlout"
+)
+
+// fragRec serializes one candidate's fragment from the event stream using
+// the repository's canonical rules (package xmlout). Unlike TwigM's shared
+// recorder buffer, each naive candidate owns a private buffer — one more
+// place where the baseline spends memory that ViteX avoids.
+type fragRec struct {
+	buf     []byte
+	level   int // depth of the fragment root
+	pending bool
+	pendLvl int
+}
+
+func (f *fragRec) flush() {
+	if f.pending {
+		f.buf = append(f.buf, '>')
+		f.pending = false
+	}
+}
+
+func (f *fragRec) start(ev *sax.Event) {
+	f.flush()
+	f.buf = append(f.buf, '<')
+	f.buf = append(f.buf, ev.Name...)
+	for _, a := range ev.Attrs {
+		f.buf = append(f.buf, ' ')
+		f.buf = append(f.buf, a.Name...)
+		f.buf = append(f.buf, '=', '"')
+		f.buf = xmlout.AppendAttr(f.buf, a.Value)
+		f.buf = append(f.buf, '"')
+	}
+	f.pending = true
+	f.pendLvl = ev.Depth
+}
+
+func (f *fragRec) text(ev *sax.Event) {
+	f.flush()
+	f.buf = xmlout.AppendText(f.buf, ev.Text)
+}
+
+func (f *fragRec) end(ev *sax.Event) {
+	if f.pending && f.pendLvl == ev.Depth {
+		f.buf = append(f.buf, '/', '>')
+		f.pending = false
+		return
+	}
+	f.flush()
+	f.buf = append(f.buf, '<', '/')
+	f.buf = append(f.buf, ev.Name...)
+	f.buf = append(f.buf, '>')
+}

@@ -1,0 +1,18 @@
+package sax
+
+// Fanout forwards every event to a set of handlers in order, so several
+// independent consumers — e.g. one TwigM machine per subscribed query —
+// share a single sequential scan of the stream. The first handler error
+// aborts the whole parse (the paper's single-scan requirement makes partial
+// restarts impossible anyway).
+type Fanout []Handler
+
+// HandleEvent implements Handler.
+func (f Fanout) HandleEvent(ev *Event) error {
+	for _, h := range f {
+		if err := h.HandleEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

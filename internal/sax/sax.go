@@ -1,0 +1,115 @@
+// Package sax defines the streaming event model that connects the XML
+// front-ends (internal/xmlscan and the encoding/xml adapter) to the query
+// engines (internal/twigm, internal/naive). It mirrors the "SAX parser"
+// module of the ViteX architecture (ICDE 2005, figure 2): the parser turns an
+// XML byte stream into a sequence of events, and downstream machines change
+// state per event.
+//
+// Events carry the element depth explicitly because the TwigM machine's axis
+// checks are pure level arithmetic: the root element has depth 1, its
+// children depth 2, and so on. Text events carry the depth of the text node
+// itself (parent depth + 1), matching the XPath data model in which text
+// nodes are children of their containing element.
+package sax
+
+import "fmt"
+
+// Kind discriminates the event variants a Handler receives.
+type Kind uint8
+
+// Event kinds, in the order a well-formed document produces them.
+const (
+	// StartDocument is delivered once before any other event.
+	StartDocument Kind = iota
+	// StartElement is delivered for each opening (or self-closing) tag.
+	StartElement
+	// EndElement is delivered for each closing tag (self-closing tags
+	// produce an immediate EndElement after their StartElement).
+	EndElement
+	// Text is delivered for each maximal run of character data between
+	// tags. Adjacent character data, entity references and CDATA sections
+	// are coalesced into a single Text event, so one Text event per
+	// XPath text node.
+	Text
+	// EndDocument is delivered once after the root element closes.
+	EndDocument
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case StartDocument:
+		return "StartDocument"
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Text:
+		return "Text"
+	case EndDocument:
+		return "EndDocument"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attr is a single attribute of a start-element event. Values have all
+// entity references resolved.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Event is one unit of the stream. The same Event value is reused by
+// producers between Handler calls; handlers must copy anything they retain
+// (Name, Text and Attrs share the producer's buffers only until the handler
+// returns — producers in this repository hand out stable strings, but the
+// contract is defined conservatively so alternative producers can recycle
+// buffers).
+type Event struct {
+	Kind Kind
+	// Name is the element name for StartElement/EndElement. Namespace
+	// prefixes are preserved verbatim (ViteX predates namespace-aware
+	// matching; queries match the lexical QName).
+	Name string
+	// Depth is the element depth for StartElement/EndElement (root = 1)
+	// and the text-node depth (parent depth + 1) for Text.
+	Depth int
+	// Text is the character data for Text events.
+	Text string
+	// Attrs holds the attributes of a StartElement event, in document
+	// order. Nil for other kinds.
+	Attrs []Attr
+	// Offset is the byte offset in the input at which the token that
+	// produced this event begins. Diagnostic only.
+	Offset int64
+}
+
+// Handler consumes a stream of events. Returning a non-nil error aborts the
+// parse; the error is propagated to the driver's caller.
+type Handler interface {
+	HandleEvent(ev *Event) error
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ev *Event) error
+
+// HandleEvent implements Handler.
+func (f HandlerFunc) HandleEvent(ev *Event) error { return f(ev) }
+
+// Driver is anything that can push a full document's events into a Handler.
+// Both the custom scanner and the encoding/xml adapter implement it.
+type Driver interface {
+	Run(h Handler) error
+}
+
+// Attr lookup helper: Get returns the value of the named attribute and
+// whether it was present.
+func GetAttr(attrs []Attr, name string) (string, bool) {
+	for i := range attrs {
+		if attrs[i].Name == name {
+			return attrs[i].Value, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,391 @@
+// Package twigm implements the heart of ViteX (ICDE 2005): the TwigM
+// builder (§3.1) and the TwigM machine (§3.2), a streaming XPath processor
+// for the fragment XP{/,//,*,[]} with polynomial time and space complexity.
+//
+// The machine keeps one stack per query node. A stack entry corresponds to
+// one open XML element that path-matches the query node, and compactly
+// encodes every pattern match that element participates in: instead of
+// enumerating the (worst-case exponential) matches, each entry carries a
+// bitset recording which query children have been matched, and a list of
+// candidate solutions whose fate depends on this entry's predicates. Flags
+// propagate to all axis-compatible parent entries when an entry's predicate
+// expression becomes satisfied; candidate solutions travel up the spine the
+// same way and are emitted exactly once when they reach a satisfied root
+// entry, or discarded when their last reference dies. This is the paper's
+// O(|D|·|Q|·(|Q|+B)) lazy evaluation.
+package twigm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// maxChildren bounds the number of machine children per query node (flag
+// bits live in one uint64 per stack entry).
+const maxChildren = 64
+
+// Program is a compiled TwigM machine: the immutable result of the TwigM
+// builder. A Program can drive any number of concurrent Runs.
+type Program struct {
+	query *xpath.Query
+	root  *node
+	nodes []*node // all nodes, ids dense, topological (parent before child)
+
+	// Event-dispatch indexes.
+	elemIndex map[string][]*node // element nodes by name (no wildcards)
+	wildElems []*node            // element nodes with name "*"
+	attrIndex map[string][]*node // attribute nodes by name
+	textNodes []*node            // text() nodes
+	// valueNodes are element nodes that must accumulate their string-value
+	// (they carry a chain comparison or a self-comparison predicate).
+	valueNodes []*node
+}
+
+// node is one machine node: a query node plus its compiled condition.
+type node struct {
+	id       int
+	kind     xpath.Kind
+	name     string
+	axis     xpath.Axis
+	parent   *node
+	childIdx int // flag bit position in parent entries
+	children []*node
+	cond     *cond
+	// cmp is the inline value test of attribute and text() nodes,
+	// evaluated the moment the node's value is seen (attribute values
+	// and text runs are final immediately).
+	cmp      *xpath.Comparison
+	isOutput bool
+	spine    bool
+	// needsText: entries of this node accumulate their string-value.
+	needsText bool
+	// hasSelfClosePrune: the condition can be decided false at push time
+	// from child-axis attribute leaves alone.
+	prunable bool
+}
+
+// condOp enumerates condition-tree operators.
+type condOp uint8
+
+const (
+	condTrue condOp = iota
+	condAnd
+	condOr
+	condFlag // child subquery matched: flag bit flagIdx
+	condSelf // comparison on this entry's own string-value (final at pop)
+)
+
+// cond is a compiled boolean condition over a stack entry's state. An entry
+// is satisfied when its node's cond evaluates true; condSelf leaves are
+// unknown (treated false) until the entry pops and its string-value is
+// complete.
+type cond struct {
+	op      condOp
+	kids    []*cond
+	flagIdx int
+	// finalAtPush marks condFlag leaves whose truth is fully known by the
+	// end of the entry's start-element event: child-axis attribute
+	// children (attributes cannot appear later).
+	finalAtPush bool
+	cmp         *xpath.Comparison
+}
+
+// CompileError reports a query that parses but cannot be compiled to a
+// machine (out-of-range widths).
+type CompileError struct{ Msg string }
+
+func (e *CompileError) Error() string { return "twigm: " + e.Msg }
+
+// Compile builds a TwigM machine from a parsed query. Build time is linear
+// in the query size (paper §2, claim 2; benchmarked by E7).
+func Compile(q *xpath.Query) (*Program, error) {
+	p := &Program{
+		query:     q,
+		elemIndex: make(map[string][]*node),
+		attrIndex: make(map[string][]*node),
+	}
+	root, err := p.build(q.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.root = root
+	return p, nil
+}
+
+// MustCompile compiles a query string, panicking on error (tests/examples).
+func MustCompile(query string) *Program {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		panic(err)
+	}
+	p, err := Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// build creates the machine node for qn (and recursively its children) and
+// registers it in the dispatch indexes.
+func (p *Program) build(qn *xpath.Node, parent *node) (*node, error) {
+	m := &node{
+		id:       len(p.nodes),
+		kind:     qn.Kind,
+		name:     qn.Name,
+		axis:     qn.Axis,
+		parent:   parent,
+		spine:    qn.Spine,
+		isOutput: qn == p.query.Output,
+	}
+	p.nodes = append(p.nodes, m)
+	switch qn.Kind {
+	case xpath.Element:
+		if qn.Name == "*" {
+			p.wildElems = append(p.wildElems, m)
+		} else {
+			p.elemIndex[qn.Name] = append(p.elemIndex[qn.Name], m)
+		}
+	case xpath.Attribute:
+		p.attrIndex[qn.Name] = append(p.attrIndex[qn.Name], m)
+	case xpath.Text:
+		p.textNodes = append(p.textNodes, m)
+	}
+
+	// Children: predicate-leaf heads first, then the chain continuation.
+	// Each child occupies one flag bit in this node's entries.
+	addChild := func(cqn *xpath.Node) (*node, error) {
+		cm, err := p.build(cqn, m)
+		if err != nil {
+			return nil, err
+		}
+		cm.childIdx = len(m.children)
+		m.children = append(m.children, cm)
+		if len(m.children) > maxChildren {
+			return nil, &CompileError{Msg: fmt.Sprintf(
+				"query node %q has more than %d predicate branches", qn.Name, maxChildren)}
+		}
+		return cm, nil
+	}
+
+	var conds []*cond
+	if qn.Pred != nil {
+		pc, err := p.buildPred(qn.Pred, addChild)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, pc)
+	}
+	if qn.Next != nil {
+		cm, err := addChild(qn.Next)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, flagLeaf(cm))
+	}
+	if qn.Cmp != nil {
+		// A trailing comparison on the path ending at this node.
+		switch qn.Kind {
+		case xpath.Element:
+			conds = append(conds, &cond{op: condSelf, cmp: qn.Cmp})
+			m.needsText = true
+		default:
+			// Attribute and text() comparisons are evaluated inline
+			// at the event; they gate the node's satisfaction there,
+			// not through the cond tree.
+			m.cmp = qn.Cmp
+		}
+	}
+	m.cond = andConds(conds)
+	if m.kind == xpath.Element && hasSelf(m.cond) {
+		m.needsText = true
+	}
+	if m.needsText {
+		p.valueNodes = append(p.valueNodes, m)
+	}
+	m.prunable = hasFinalLeaf(m.cond)
+	return m, nil
+}
+
+// buildPred compiles a predicate expression, materializing machine nodes for
+// its path leaves via addChild.
+func (p *Program) buildPred(pe *xpath.PredExpr, addChild func(*xpath.Node) (*node, error)) (*cond, error) {
+	switch pe.Op {
+	case xpath.PredTrue:
+		return &cond{op: condTrue}, nil
+	case xpath.PredSelf:
+		return &cond{op: condSelf, cmp: pe.Self}, nil
+	case xpath.PredLeaf:
+		cm, err := addChild(pe.Leaf)
+		if err != nil {
+			return nil, err
+		}
+		return flagLeaf(cm), nil
+	case xpath.PredAnd, xpath.PredOr:
+		op := condAnd
+		if pe.Op == xpath.PredOr {
+			op = condOr
+		}
+		c := &cond{op: op}
+		for _, k := range pe.Kids {
+			kc, err := p.buildPred(k, addChild)
+			if err != nil {
+				return nil, err
+			}
+			c.kids = append(c.kids, kc)
+		}
+		return c, nil
+	default:
+		return nil, &CompileError{Msg: "unknown predicate operator"}
+	}
+}
+
+// flagLeaf builds the condFlag leaf for machine child cm.
+func flagLeaf(cm *node) *cond {
+	return &cond{
+		op:          condFlag,
+		flagIdx:     cm.childIdx,
+		finalAtPush: cm.kind == xpath.Attribute && cm.axis == xpath.Child,
+	}
+}
+
+func andConds(conds []*cond) *cond {
+	switch len(conds) {
+	case 0:
+		return &cond{op: condTrue}
+	case 1:
+		return conds[0]
+	default:
+		return &cond{op: condAnd, kids: conds}
+	}
+}
+
+func hasSelf(c *cond) bool {
+	if c.op == condSelf {
+		return true
+	}
+	for _, k := range c.kids {
+		if hasSelf(k) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasFinalLeaf(c *cond) bool {
+	if c.op == condFlag && c.finalAtPush {
+		return true
+	}
+	for _, k := range c.kids {
+		if hasFinalLeaf(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// eval evaluates the condition against an entry's flag bits. Unknown leaves
+// (condSelf before finalization) count as false; because the expression is
+// monotone (no negation in the fragment) a true result is final.
+func (c *cond) eval(flags uint64, selfValue func() string, final bool) bool {
+	switch c.op {
+	case condTrue:
+		return true
+	case condFlag:
+		return flags&(1<<uint(c.flagIdx)) != 0
+	case condSelf:
+		if !final {
+			return false
+		}
+		return c.cmp.Eval(selfValue())
+	case condAnd:
+		for _, k := range c.kids {
+			if !k.eval(flags, selfValue, final) {
+				return false
+			}
+		}
+		return true
+	default: // condOr
+		for _, k := range c.kids {
+			if k.eval(flags, selfValue, final) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// deadAtPush reports whether the condition can already be ruled out at push
+// time: evaluating optimistically (every leaf that could still become true
+// counts as true) it is still false. Only child-axis attribute leaves are
+// final at push.
+func (c *cond) deadAtPush(flags uint64) bool {
+	return !c.optimistic(flags)
+}
+
+func (c *cond) optimistic(flags uint64) bool {
+	switch c.op {
+	case condTrue, condSelf:
+		return true
+	case condFlag:
+		if c.finalAtPush {
+			return flags&(1<<uint(c.flagIdx)) != 0
+		}
+		return true
+	case condAnd:
+		for _, k := range c.kids {
+			if !k.optimistic(flags) {
+				return false
+			}
+		}
+		return true
+	default: // condOr
+		for _, k := range c.kids {
+			if k.optimistic(flags) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Query returns the query this program was compiled from.
+func (p *Program) Query() *xpath.Query { return p.query }
+
+// NumNodes returns the number of machine nodes (equals the query size; the
+// builder is linear, paper claim 2).
+func (p *Program) NumNodes() int { return len(p.nodes) }
+
+// Describe renders the machine tree in the style of figure 3 of the paper:
+// one line per machine node, child-axis edges drawn with '-', descendant
+// edges with '='; the output node is marked with '*'.
+func (p *Program) Describe() string {
+	var b strings.Builder
+	p.describe(&b, p.root, 0)
+	return b.String()
+}
+
+func (p *Program) describe(b *strings.Builder, m *node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	edge := "-"
+	if m.axis == xpath.Descendant {
+		edge = "="
+	}
+	b.WriteString(edge)
+	switch m.kind {
+	case xpath.Attribute:
+		b.WriteString("@" + m.name)
+	case xpath.Text:
+		b.WriteString("text()")
+	default:
+		b.WriteString(m.name)
+	}
+	if m.isOutput {
+		b.WriteString(" *")
+	}
+	b.WriteString("\n")
+	for _, c := range m.children {
+		p.describe(b, c, depth+1)
+	}
+}

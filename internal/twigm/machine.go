@@ -1,0 +1,679 @@
+package twigm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sax"
+	"repro/internal/xpath"
+)
+
+// Result is one query solution, delivered through Options.Emit.
+type Result struct {
+	// Seq is the creation order of the candidate, which equals the
+	// document order of the result node.
+	Seq int64
+	// NodeOffset is a document-order identity for the result node,
+	// derived from the byte offset of the token that produced it
+	// (attributes use their owner's offset plus the attribute index, a
+	// position inside the owner's tag, so offsets stay unique and
+	// document-ordered across result kinds). Two results from different
+	// machines over the same stream refer to the same node iff their
+	// NodeOffsets are equal — the identity that union evaluation
+	// deduplicates on.
+	NodeOffset int64
+	// Value is the serialized result: the XML fragment for element
+	// results, the attribute value for attribute results, the text
+	// content for text() results. Empty in CountOnly mode.
+	Value string
+	// ConfirmedAt and DeliveredAt are the indices of the SAX events at
+	// which the solution was proven (all predicates satisfied up to the
+	// query root) and at which it was handed to Emit. Their difference,
+	// and their distance from the end of the stream, quantify the
+	// incremental-delivery behaviour of §1 requirement 2 (experiment E8).
+	ConfirmedAt int64
+	DeliveredAt int64
+}
+
+// Options configures a Run.
+type Options struct {
+	// Emit receives each query solution. A nil Emit just counts results.
+	// Returning an error aborts the stream.
+	Emit func(Result) error
+	// CountOnly disables fragment recording: results are detected and
+	// counted, but Value stays empty. This is the configuration for the
+	// paper's memory experiment (E2), where only @id values are emitted.
+	CountOnly bool
+	// Ordered delivers results in document order. Without it, results
+	// are delivered the moment they are proven (confirmation order),
+	// which may run ahead of document order when an early candidate's
+	// predicates resolve late.
+	Ordered bool
+	// DisablePrune turns off the push-time pruning of entries whose
+	// attribute predicates already failed (ablation benchmark).
+	DisablePrune bool
+	// DisableEagerPropagation delays satisfaction propagation to
+	// end-element time even when an entry's predicates are already
+	// satisfied while it is open (ablation benchmark; increases result
+	// latency but must not change results).
+	DisableEagerPropagation bool
+	// Trace, when non-nil, receives a human-readable log of every
+	// machine transition (pushes, pops, flag propagations, candidate
+	// lifecycle) — the demonstration view of the system. Evaluation with
+	// tracing is substantially slower; leave nil in production.
+	Trace io.Writer
+}
+
+// Stats are live counters of a Run, exposing the quantities the paper's
+// claims are stated in terms of.
+type Stats struct {
+	Events   int64 // SAX events processed
+	Elements int64 // start-element events
+	Pushes   int64 // stack entries created
+	Pops     int64 // stack entries removed
+	// FlagProps counts flag propagations to parent entries: the unit of
+	// work of the compact encoding (bounded by |D|·|Q|·depth).
+	FlagProps int64
+	// CandMoves counts candidate hand-offs between entries.
+	CandMoves          int64
+	CandidatesCreated  int64
+	CandidatesEmitted  int64
+	CandidatesDropped  int64
+	PrunedPushes       int64
+	PeakStackEntries   int // high-water mark of live entries across all stacks
+	PeakLiveCandidates int
+	PeakBufferedBytes  int // high-water mark of recorder memory
+	MaxDepth           int
+}
+
+// candState tracks a candidate's lifecycle.
+type candState uint8
+
+const (
+	candPending candState = iota
+	candConfirmed
+	candDropped
+)
+
+// candidate is a potential query solution: an XML node that matched the
+// whole spine structurally, buffered until its ancestors' predicates are
+// decided (§1: "we need to record them"). One candidate exists per result
+// node regardless of how many pattern matches involve it; entries hold
+// references, and the confirmed latch makes emission exactly-once.
+type candidate struct {
+	seq         int64
+	offset      int64 // document-order node identity (Result.NodeOffset)
+	refs        int
+	state       candState
+	open        bool // element still being recorded
+	value       string
+	rec         *recording
+	confirmedAt int64
+}
+
+// entry is one stack entry: an open XML element that path-matches the
+// machine node, with the paper's triplet (level, match-status bitset,
+// candidate solutions).
+type entry struct {
+	level     int
+	flags     uint64
+	satisfied bool
+	cands     []*candidate
+	text      *strings.Builder // string-value accumulator (valueNodes only)
+}
+
+// Run is a TwigM machine instance processing one XML stream. It implements
+// sax.Handler. Create with Program.Start.
+type Run struct {
+	prog *Program
+	opts Options
+
+	stacks  [][]entry // indexed by node id; nil for attr/text nodes
+	nextSeq int64
+	count   int64
+	stats   Stats
+
+	liveEntries int
+	liveCands   int
+
+	rec     recorder
+	ordered orderedBuf
+	trace   *tracer
+	done    bool
+	failed  error
+}
+
+// Start instantiates the machine for a new stream.
+func (p *Program) Start(opts Options) *Run {
+	r := &Run{prog: p, opts: opts}
+	r.stacks = make([][]entry, len(p.nodes))
+	r.rec.countOnly = opts.CountOnly
+	if opts.Trace != nil {
+		r.trace = &tracer{w: opts.Trace}
+	}
+	return r
+}
+
+// Count returns the number of solutions delivered so far.
+func (r *Run) Count() int64 { return r.count }
+
+// Stats returns a snapshot of the run's counters.
+func (r *Run) Stats() Stats { return r.stats }
+
+// HandleEvent implements sax.Handler.
+func (r *Run) HandleEvent(ev *sax.Event) error {
+	if r.failed != nil {
+		return r.failed
+	}
+	r.stats.Events++
+	switch ev.Kind {
+	case sax.StartElement:
+		r.startElement(ev)
+	case sax.EndElement:
+		r.endElement(ev)
+	case sax.Text:
+		r.text(ev)
+	case sax.EndDocument:
+		r.endDocument()
+	}
+	return r.failed
+}
+
+// fail records a terminal error (emit callback failure or internal
+// invariant violation).
+func (r *Run) fail(err error) {
+	if r.failed == nil {
+		r.failed = err
+	}
+}
+
+// ---- event processing ----
+
+func (r *Run) startElement(ev *sax.Event) {
+	r.stats.Elements++
+	if ev.Depth > r.stats.MaxDepth {
+		r.stats.MaxDepth = ev.Depth
+	}
+	// Phase 1: push entries, parents never depend on same-event pushes
+	// (axis checks use strict level inequalities), so list order is fine.
+	for _, m := range r.prog.elemIndex[ev.Name] {
+		r.tryPush(m, ev)
+	}
+	for _, m := range r.prog.wildElems {
+		r.tryPush(m, ev)
+	}
+	// Phase 2: attribute machine nodes. Attributes of this element can
+	// satisfy attribute query nodes whose parent has a compatible entry
+	// — including the entries just pushed (child axis: the owner
+	// element itself; descendant axis: self-or-ancestor owners).
+	for ai, a := range ev.Attrs {
+		nodes := r.prog.attrIndex[a.Name]
+		for _, m := range nodes {
+			r.attrEvent(m, a.Value, ai, ev)
+		}
+	}
+	// Phase 3: initial satisfaction checks for entries pushed this event
+	// (their flags may already be complete: leaf nodes, attribute-only
+	// predicates).
+	for _, m := range r.prog.elemIndex[ev.Name] {
+		r.checkTop(m, ev.Depth)
+	}
+	for _, m := range r.prog.wildElems {
+		r.checkTop(m, ev.Depth)
+	}
+	// Phase 4: recording.
+	r.rec.startElement(r, ev)
+}
+
+// tryPush pushes an entry for element machine node m if the event satisfies
+// m's name test and axis.
+func (r *Run) tryPush(m *node, ev *sax.Event) {
+	if m.name != "*" && m.name != ev.Name {
+		return
+	}
+	d := ev.Depth
+	if m.parent == nil {
+		// Axis from the document node.
+		if m.axis == xpath.Child && d != 1 {
+			return
+		}
+	} else {
+		if !r.parentCompatExists(m, d) {
+			return
+		}
+	}
+	if m.prunable && !r.opts.DisablePrune {
+		// Child-axis attribute predicates are decidable now; skip the
+		// push when the condition is already dead (the entry could
+		// never be satisfied, and descendants lose nothing: any
+		// lower compatible entries remain available to them).
+		flags := r.attrFlagsAtPush(m, ev)
+		if m.cond.deadAtPush(flags) {
+			r.stats.PrunedPushes++
+			if r.trace.on() {
+				r.trace.prune(m, d)
+			}
+			return
+		}
+	}
+	e := entry{level: d}
+	if m.needsText {
+		e.text = &strings.Builder{}
+	}
+	r.stacks[m.id] = append(r.stacks[m.id], e)
+	r.stats.Pushes++
+	if r.trace.on() {
+		r.trace.push(m, d)
+	}
+	r.liveEntries++
+	if r.liveEntries > r.stats.PeakStackEntries {
+		r.stats.PeakStackEntries = r.liveEntries
+	}
+	if m.isOutput {
+		// Every structural match of the output path becomes a
+		// candidate solution, parked on its own entry until this
+		// node's predicates resolve.
+		c := r.newCandidate(ev.Offset)
+		r.rec.register(r, c, d)
+		top := &r.stacks[m.id][len(r.stacks[m.id])-1]
+		top.cands = append(top.cands, c)
+		c.refs++
+	}
+}
+
+// attrFlagsAtPush computes the flag bits of child-axis attribute children
+// given this event's attributes (used for pruning; the attrEvent phase sets
+// the same bits on the pushed entry).
+func (r *Run) attrFlagsAtPush(m *node, ev *sax.Event) uint64 {
+	var flags uint64
+	for _, c := range m.children {
+		if c.kind != xpath.Attribute || c.axis != xpath.Child {
+			continue
+		}
+		if v, ok := sax.GetAttr(ev.Attrs, c.name); ok {
+			if cmpOK(c, v) {
+				flags |= 1 << uint(c.childIdx)
+			}
+		}
+	}
+	return flags
+}
+
+// cmpOK evaluates an attribute or text machine node's inline comparison.
+func cmpOK(m *node, value string) bool {
+	return m.cmp == nil || m.cmp.Eval(value)
+}
+
+// parentCompatExists reports whether the parent stack holds an entry
+// axis-compatible with an element at depth d. Open entries in a stack have
+// strictly increasing levels and are all ancestors of the current parse
+// point, so level arithmetic is sound.
+func (r *Run) parentCompatExists(m *node, d int) bool {
+	s := r.stacks[m.parent.id]
+	if len(s) == 0 {
+		return false
+	}
+	if m.axis == xpath.Descendant {
+		return s[0].level < d
+	}
+	// Child axis: an entry at exactly d-1 is the top entry or the one
+	// just below a same-event top.
+	for i := len(s) - 1; i >= 0 && s[i].level >= d-1; i-- {
+		if s[i].level == d-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// attrEvent handles one attribute of the current start-element against one
+// attribute machine node: the attribute node is instantaneously satisfied
+// (its comparison is final), so it immediately propagates its flag — and its
+// candidate, if it is the output node — to all compatible parent entries.
+func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
+	if !cmpOK(m, value) {
+		return
+	}
+	d := ev.Depth
+	if m.parent == nil {
+		// Query of the form //@a (or /@a, which never matches: the
+		// document node has no attributes).
+		if m.axis == xpath.Child {
+			return
+		}
+		if m.isOutput {
+			c := r.newCandidate(ev.Offset + 1 + int64(attrIdx))
+			c.value = value
+			r.confirm(c)
+			r.resolveIfDead(c)
+		}
+		return
+	}
+	var c *candidate
+	if m.isOutput {
+		c = r.newCandidate(ev.Offset + 1 + int64(attrIdx))
+		c.value = value
+	}
+	r.propagate(m, d, c)
+	if c != nil {
+		r.resolveIfDead(c)
+	}
+}
+
+// text handles a character-data event: it extends the string-values of open
+// value-carrying entries, and matches text() machine nodes (each maximal
+// run is one text node; comparisons on runs are final immediately).
+func (r *Run) text(ev *sax.Event) {
+	r.rec.text(r, ev)
+	for _, m := range r.prog.valueNodes {
+		for i := range r.stacks[m.id] {
+			r.stacks[m.id][i].text.WriteString(ev.Text)
+		}
+	}
+	for _, m := range r.prog.textNodes {
+		if !cmpOK(m, ev.Text) {
+			continue
+		}
+		if m.parent == nil {
+			// //text(): every text node is a solution.
+			if m.axis == xpath.Descendant && m.isOutput {
+				c := r.newCandidate(ev.Offset)
+				c.value = ev.Text
+				r.confirm(c)
+				r.resolveIfDead(c)
+			}
+			continue
+		}
+		var c *candidate
+		if m.isOutput {
+			c = r.newCandidate(ev.Offset)
+			c.value = ev.Text
+		}
+		r.propagate(m, ev.Depth, c)
+		if c != nil {
+			r.resolveIfDead(c)
+		}
+	}
+}
+
+func (r *Run) endElement(ev *sax.Event) {
+	// Recording first: fragments of candidates rooted at this element
+	// must be complete before pop-time satisfaction can deliver them.
+	r.rec.endElement(r, ev)
+	d := ev.Depth
+	// Process children before parents (reverse topological id order) so
+	// pop-time satisfactions propagate to parent entries that pop in
+	// this same event... parent entries popping now are at level d and
+	// are never axis-compatible targets of a level-d child anyway; the
+	// order is for clarity.
+	for i := len(r.prog.nodes) - 1; i >= 0; i-- {
+		m := r.prog.nodes[i]
+		if m.kind != xpath.Element {
+			continue
+		}
+		s := r.stacks[m.id]
+		if len(s) == 0 || s[len(s)-1].level != d {
+			continue
+		}
+		e := &s[len(s)-1]
+		if !e.satisfied {
+			// Finalize: self-comparisons now have the complete
+			// string-value.
+			if m.cond.eval(e.flags, e.textValue, true) {
+				r.onSatisfied(m, e)
+			}
+		}
+		if !e.satisfied {
+			// The entry dies unsatisfied: drop its candidate refs.
+			for _, c := range e.cands {
+				c.refs--
+				r.stats.CandMoves++
+				r.resolveIfDead(c)
+			}
+		}
+		if r.trace.on() {
+			r.trace.pop(m, e)
+		}
+		r.stacks[m.id] = s[:len(s)-1]
+		r.stats.Pops++
+		r.liveEntries--
+	}
+}
+
+func (r *Run) endDocument() {
+	r.done = true
+	if r.liveEntries != 0 {
+		r.fail(fmt.Errorf("twigm: internal: %d entries live at end of document", r.liveEntries))
+		return
+	}
+	if err := r.ordered.checkDrained(); err != nil {
+		r.fail(err)
+	}
+}
+
+// textValue returns the accumulated string-value of an entry.
+func (e *entry) textValue() string {
+	if e.text == nil {
+		return ""
+	}
+	return e.text.String()
+}
+
+// checkTop runs the initial satisfaction check on an entry pushed this
+// event (top of stack at level d).
+func (r *Run) checkTop(m *node, d int) {
+	s := r.stacks[m.id]
+	if len(s) == 0 {
+		return
+	}
+	e := &s[len(s)-1]
+	if e.level != d || e.satisfied {
+		return
+	}
+	if m.cond.eval(e.flags, e.textValue, false) {
+		if r.opts.DisableEagerPropagation {
+			// Ablation mode: defer to pop time. Mark nothing; the
+			// pop-time final eval will satisfy the entry.
+			return
+		}
+		r.onSatisfied(m, e)
+	}
+}
+
+// onSatisfied fires exactly once per entry, when its condition becomes
+// true: the entry's subtree pattern is matched with this element as the
+// image of m. It propagates m's flag to all axis-compatible parent entries
+// and moves the entry's candidates up the spine (or confirms them at the
+// root).
+func (r *Run) onSatisfied(m *node, e *entry) {
+	e.satisfied = true
+	if r.trace.on() {
+		r.trace.satisfied(m, e)
+	}
+	if m.parent == nil {
+		for _, c := range e.cands {
+			c.refs--
+			r.confirm(c)
+			r.resolveIfDead(c)
+		}
+		e.cands = nil
+		return
+	}
+	cands := e.cands
+	e.cands = nil
+	for _, c := range cands {
+		r.stats.CandMoves++
+		r.propagate(m, e.level, c)
+		c.refs--
+		r.resolveIfDead(c)
+	}
+	if len(cands) == 0 {
+		r.propagate(m, e.level, nil)
+	}
+}
+
+// propagate sets m's flag bit in every parent entry axis-compatible with a
+// satisfied m-match at the given level, and (when c is non-nil) hands the
+// candidate to each of them. Flags go to every compatible entry — this is
+// the compact encoding of the exponentially many pattern matches; the
+// candidate's confirmed latch keeps emission exactly-once despite the
+// fan-out.
+func (r *Run) propagate(m *node, level int, c *candidate) {
+	parent := m.parent
+	s := r.stacks[parent.id]
+	lo, hi := compatRange(m, level)
+	for i := len(s) - 1; i >= 0; i-- {
+		e := &s[i]
+		if e.level > hi {
+			continue
+		}
+		if e.level < lo {
+			break
+		}
+		r.deliverFlag(parent, e, m.childIdx)
+		if c != nil {
+			r.deliverCand(parent, e, c)
+		}
+	}
+}
+
+// compatRange returns the inclusive [lo, hi] parent-entry level range that
+// is axis-compatible with a match of m at the given level. Elements and
+// text nodes sit strictly below their parents; attributes belong to their
+// owner element (child axis) or to any self-or-ancestor owner (descendant,
+// per the descendant-or-self expansion of '//@a').
+func compatRange(m *node, level int) (lo, hi int) {
+	switch {
+	case m.kind == xpath.Attribute && m.axis == xpath.Child:
+		return level, level
+	case m.kind == xpath.Attribute:
+		return 0, level
+	case m.axis == xpath.Child:
+		return level - 1, level - 1
+	default:
+		return 0, level - 1
+	}
+}
+
+// deliverFlag sets a flag bit on a parent entry and re-checks its
+// condition.
+func (r *Run) deliverFlag(parent *node, e *entry, idx int) {
+	bit := uint64(1) << uint(idx)
+	if e.flags&bit != 0 {
+		return
+	}
+	e.flags |= bit
+	r.stats.FlagProps++
+	if r.trace.on() {
+		r.trace.flag(parent, parent.children[idx], e.level)
+	}
+	if e.satisfied || r.opts.DisableEagerPropagation {
+		return
+	}
+	if parent.cond.eval(e.flags, e.textValue, false) {
+		r.onSatisfied(parent, e)
+	}
+}
+
+// deliverCand parks a candidate on a parent entry, or passes it straight
+// through when the entry is already satisfied.
+func (r *Run) deliverCand(parent *node, e *entry, c *candidate) {
+	if c.state != candPending {
+		return
+	}
+	if e.satisfied {
+		if parent.parent == nil {
+			r.confirm(c)
+			return
+		}
+		r.stats.CandMoves++
+		r.propagate(parent, e.level, c)
+		return
+	}
+	e.cands = append(e.cands, c)
+	c.refs++
+}
+
+// ---- candidate lifecycle ----
+
+func (r *Run) newCandidate(offset int64) *candidate {
+	c := &candidate{seq: r.nextSeq, offset: offset}
+	r.nextSeq++
+	r.stats.CandidatesCreated++
+	if r.trace.on() {
+		r.trace.candidate(c)
+	}
+	r.liveCands++
+	if r.liveCands > r.stats.PeakLiveCandidates {
+		r.stats.PeakLiveCandidates = r.liveCands
+	}
+	if r.opts.Ordered {
+		r.ordered.expect(c.seq)
+	}
+	return c
+}
+
+// confirm marks a candidate as a proven solution; it delivers immediately
+// unless the fragment is still being recorded.
+func (r *Run) confirm(c *candidate) {
+	if c.state != candPending {
+		return
+	}
+	c.state = candConfirmed
+	c.confirmedAt = r.stats.Events
+	if r.trace.on() {
+		r.trace.confirm(c)
+	}
+	if !c.open {
+		r.deliver(c)
+	}
+}
+
+// resolveIfDead drops a pending candidate whose last reference died: no
+// remaining entry can ever confirm it.
+func (r *Run) resolveIfDead(c *candidate) {
+	if c.state != candPending || c.refs > 0 {
+		return
+	}
+	c.state = candDropped
+	r.stats.CandidatesDropped++
+	if r.trace.on() {
+		r.trace.drop(c)
+	}
+	r.liveCands--
+	r.rec.drop(c)
+	if r.opts.Ordered {
+		r.ordered.resolve(r, c.seq, nil)
+	}
+}
+
+// deliver hands a confirmed, fully recorded candidate to the output.
+func (r *Run) deliver(c *candidate) {
+	res := Result{
+		Seq:         c.seq,
+		NodeOffset:  c.offset,
+		Value:       c.value,
+		ConfirmedAt: c.confirmedAt,
+		DeliveredAt: r.stats.Events,
+	}
+	r.liveCands--
+	r.stats.CandidatesEmitted++
+	if r.opts.Ordered {
+		r.ordered.resolve(r, c.seq, &res)
+		return
+	}
+	r.emit(res)
+}
+
+func (r *Run) emit(res Result) {
+	r.count++
+	if r.trace.on() {
+		r.trace.emit(&res)
+	}
+	if r.opts.Emit != nil {
+		if err := r.opts.Emit(res); err != nil {
+			r.fail(err)
+		}
+	}
+}

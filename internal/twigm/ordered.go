@@ -1,0 +1,51 @@
+package twigm
+
+import "fmt"
+
+// orderedBuf re-sequences deliveries into document order. Candidates are
+// created in document order of their result nodes (seq); each seq resolves
+// exactly once — either with a Result (emitted) or nil (discarded) — and the
+// buffer releases the longest resolved prefix. This implements the Ordered
+// option: it trades result latency (a solution waits for every
+// earlier-created candidate to resolve) for strict document order, which is
+// what the DOM oracle produces and what the equivalence tests compare.
+type orderedBuf struct {
+	resolved map[int64]*Result
+	next     int64 // lowest unresolved seq
+	expected int64 // number of candidates created
+}
+
+func (o *orderedBuf) expect(seq int64) {
+	if o.resolved == nil {
+		o.resolved = make(map[int64]*Result)
+	}
+	o.expected = seq + 1
+}
+
+// resolve records the fate of seq and flushes the released prefix.
+func (o *orderedBuf) resolve(r *Run, seq int64, res *Result) {
+	o.resolved[seq] = res
+	for {
+		out, ok := o.resolved[o.next]
+		if !ok {
+			return
+		}
+		delete(o.resolved, o.next)
+		o.next++
+		if out != nil {
+			out.DeliveredAt = r.stats.Events
+			r.emit(*out)
+		}
+	}
+}
+
+// checkDrained verifies every candidate resolved by end of document — an
+// internal invariant of the machine (all stacks are empty then, so no
+// reference can remain).
+func (o *orderedBuf) checkDrained() error {
+	if len(o.resolved) != 0 || o.next != o.expected {
+		return fmt.Errorf("twigm: internal: %d ordered results undelivered at end of document (next=%d expected=%d)",
+			len(o.resolved), o.next, o.expected)
+	}
+	return nil
+}

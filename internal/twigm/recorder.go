@@ -1,0 +1,149 @@
+package twigm
+
+import (
+	"repro/internal/sax"
+	"repro/internal/xmlout"
+)
+
+// recording tracks one element candidate's fragment while the element is
+// open. All simultaneously-open recordings are nested (they are
+// ancestor-or-self of the parse point), so they share a single append-only
+// byte buffer: a recording's fragment is the buffer suffix from its start
+// offset. The buffer resets whenever no recording is active, bounding
+// memory by the largest overlapping fragment span — this is what keeps the
+// paper's "stable at 1MB" memory claim reachable (E2).
+type recording struct {
+	cand       *candidate
+	startLevel int
+	start      int // offset into recorder.buf
+}
+
+// recorder serializes the event stream into the shared buffer and manages
+// candidate fragment lifecycles. Serialization follows the canonical rules
+// of package xmlout exactly, so TwigM fragments compare byte-for-byte with
+// the DOM oracle's.
+type recorder struct {
+	countOnly bool
+	active    []recording
+	buf       []byte
+	// pendingTag: the last open tag's '>' is deferred so empty elements
+	// self-close (<x/>), matching the canonical serialization.
+	pendingTag   bool
+	pendingLevel int
+}
+
+// register starts recording a fragment for an element output candidate;
+// its start-element event has not been serialized yet. In CountOnly mode
+// the candidate is left closed (no buffering) and delivers on confirmation.
+func (rc *recorder) register(r *Run, c *candidate, level int) {
+	if rc.countOnly {
+		return
+	}
+	// A pending parent open-tag must close before this fragment begins,
+	// or its '>' would land inside the new fragment.
+	rc.flushPending()
+	c.open = true
+	c.rec = &recording{cand: c, startLevel: level, start: len(rc.buf)}
+	rc.active = append(rc.active, *c.rec)
+}
+
+// drop stops recording a discarded candidate. The shared buffer cannot be
+// trimmed until all recordings finish; only the active slot is released.
+func (rc *recorder) drop(c *candidate) {
+	if c.rec == nil {
+		return
+	}
+	for i := range rc.active {
+		if rc.active[i].cand == c {
+			rc.active = append(rc.active[:i], rc.active[i+1:]...)
+			break
+		}
+	}
+	c.rec = nil
+	c.open = false
+	rc.maybeReset()
+}
+
+func (rc *recorder) maybeReset() {
+	if len(rc.active) == 0 {
+		rc.buf = rc.buf[:0]
+		rc.pendingTag = false
+	}
+}
+
+func (rc *recorder) flushPending() {
+	if rc.pendingTag {
+		rc.buf = append(rc.buf, '>')
+		rc.pendingTag = false
+	}
+}
+
+func (rc *recorder) startElement(r *Run, ev *sax.Event) {
+	if len(rc.active) == 0 {
+		return
+	}
+	rc.flushPending()
+	rc.buf = append(rc.buf, '<')
+	rc.buf = append(rc.buf, ev.Name...)
+	for _, a := range ev.Attrs {
+		rc.buf = append(rc.buf, ' ')
+		rc.buf = append(rc.buf, a.Name...)
+		rc.buf = append(rc.buf, '=', '"')
+		rc.buf = xmlout.AppendAttr(rc.buf, a.Value)
+		rc.buf = append(rc.buf, '"')
+	}
+	rc.pendingTag = true
+	rc.pendingLevel = ev.Depth
+	rc.note(r)
+}
+
+func (rc *recorder) text(r *Run, ev *sax.Event) {
+	if len(rc.active) == 0 {
+		return
+	}
+	rc.flushPending()
+	rc.buf = xmlout.AppendText(rc.buf, ev.Text)
+	rc.note(r)
+}
+
+// endElement closes the element in the serialization and finalizes
+// recordings rooted at this level: their fragment is complete, so confirmed
+// candidates deliver now.
+func (rc *recorder) endElement(r *Run, ev *sax.Event) {
+	if len(rc.active) == 0 {
+		return
+	}
+	if rc.pendingTag && rc.pendingLevel == ev.Depth {
+		rc.buf = append(rc.buf, '/', '>')
+		rc.pendingTag = false
+	} else {
+		rc.flushPending()
+		rc.buf = append(rc.buf, '<', '/')
+		rc.buf = append(rc.buf, ev.Name...)
+		rc.buf = append(rc.buf, '>')
+	}
+	rc.note(r)
+	// Finalize recordings rooted here (there is at most one: a single
+	// output node yields one candidate per element).
+	for i := len(rc.active) - 1; i >= 0; i-- {
+		rec := &rc.active[i]
+		if rec.startLevel != ev.Depth {
+			continue
+		}
+		c := rec.cand
+		c.value = string(rc.buf[rec.start:])
+		c.open = false
+		c.rec = nil
+		rc.active = append(rc.active[:i], rc.active[i+1:]...)
+		if c.state == candConfirmed {
+			r.deliver(c)
+		}
+	}
+	rc.maybeReset()
+}
+
+func (rc *recorder) note(r *Run) {
+	if len(rc.buf) > r.stats.PeakBufferedBytes {
+		r.stats.PeakBufferedBytes = len(rc.buf)
+	}
+}

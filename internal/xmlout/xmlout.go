@@ -1,0 +1,119 @@
+// Package xmlout provides the canonical XML serialization shared by every
+// engine in the repository. The TwigM machine serializes result fragments
+// directly from the event stream while the DOM oracle serializes from tree
+// nodes; tests compare the two byte-for-byte, so both must use exactly these
+// rules:
+//
+//   - text escapes '&', '<' and '>'
+//   - attribute values are double-quoted and additionally escape '"'
+//   - attributes keep document order
+//   - an element with no children serializes self-closing: <name/>
+//   - text content is emitted verbatim otherwise (no whitespace
+//     normalization)
+package xmlout
+
+import "strings"
+
+// EscapeText writes s into b with character-data escaping.
+func EscapeText(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+// EscapeAttr writes s into b with attribute-value escaping (double-quote
+// convention).
+func EscapeAttr(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+// Attr is a name/value pair for OpenTag.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// OpenTag writes "<name a="v"...>" without the closing '>' decision: pass
+// selfClose to emit "/>" instead of ">".
+func OpenTag(b *strings.Builder, name string, attrs []Attr, selfClose bool) {
+	b.WriteByte('<')
+	b.WriteString(name)
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		EscapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	if selfClose {
+		b.WriteString("/>")
+	} else {
+		b.WriteByte('>')
+	}
+}
+
+// CloseTag writes "</name>".
+func CloseTag(b *strings.Builder, name string) {
+	b.WriteString("</")
+	b.WriteString(name)
+	b.WriteByte('>')
+}
+
+// AppendText is EscapeText for append-style []byte buffers (used by the
+// streaming recorder, which serializes fragments incrementally).
+func AppendText(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// AppendAttr is EscapeAttr for append-style buffers.
+func AppendAttr(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}

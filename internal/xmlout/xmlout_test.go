@@ -1,0 +1,101 @@
+package xmlout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func escText(s string) string {
+	var b strings.Builder
+	EscapeText(&b, s)
+	return b.String()
+}
+
+func escAttr(s string) string {
+	var b strings.Builder
+	EscapeAttr(&b, s)
+	return b.String()
+}
+
+func TestEscapeText(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"a&b":     "a&amp;b",
+		"<tag>":   "&lt;tag&gt;",
+		`"quote"`: `"quote"`,
+		"":        "",
+	}
+	for in, want := range cases {
+		if got := escText(in); got != want {
+			t.Errorf("EscapeText(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeAttr(t *testing.T) {
+	if got := escAttr(`a&b<c>"d"`); got != `a&amp;b&lt;c&gt;&quot;d&quot;` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// unescape inverts the five escapes, for the round-trip property.
+func unescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`)
+	return r.Replace(s)
+}
+
+// Property (testing/quick): escaping never produces raw markup characters
+// and round-trips through unescaping.
+func TestEscapeRoundTripQuick(t *testing.T) {
+	propText := func(s string) bool {
+		e := escText(s)
+		if strings.ContainsAny(e, "<>") {
+			return false
+		}
+		return unescape(e) == s
+	}
+	propAttr := func(s string) bool {
+		e := escAttr(s)
+		if strings.ContainsAny(e, `<>"`) {
+			return false
+		}
+		return unescape(e) == s
+	}
+	if err := quick.Check(propText, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(propAttr, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: builder-based and append-based escaping agree byte for byte.
+func TestBuilderAppendAgreeQuick(t *testing.T) {
+	prop := func(s string) bool {
+		return escText(s) == string(AppendText(nil, s)) &&
+			escAttr(s) == string(AppendAttr(nil, s))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCloseTag(t *testing.T) {
+	var b strings.Builder
+	OpenTag(&b, "a", []Attr{{"x", `v"1`}, {"y", "2"}}, false)
+	b.WriteString("body")
+	CloseTag(&b, "a")
+	want := `<a x="v&quot;1" y="2">body</a>`
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestSelfClosingTag(t *testing.T) {
+	var b strings.Builder
+	OpenTag(&b, "empty", nil, true)
+	if b.String() != "<empty/>" {
+		t.Fatalf("got %q", b.String())
+	}
+}

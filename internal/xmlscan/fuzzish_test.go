@@ -1,0 +1,118 @@
+package xmlscan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sax"
+)
+
+// These tests are deterministic fuzzers: they mutate well-formed documents
+// and feed the wreckage to the scanner. The contract under test is "typed
+// error or clean parse — never a panic, never an infinite loop".
+
+func scanNoPanic(t *testing.T, doc string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("scanner panicked on %q: %v", doc, r)
+		}
+	}()
+	nop := sax.HandlerFunc(func(*sax.Event) error { return nil })
+	_ = NewScanner(strings.NewReader(doc)).Run(nop) // error or nil both fine
+}
+
+func TestMutatedDocumentsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := []string{
+		datagen.PaperFigure1,
+		`<a x="1"><b>text &amp; more</b><!--c--><![CDATA[raw]]><c/></a>`,
+		`<?xml version="1.0"?><!DOCTYPE a [<!ENTITY e "x">]><a>&lt;</a>`,
+	}
+	mutations := 0
+	for _, doc := range base {
+		for i := 0; i < 500; i++ {
+			b := []byte(doc)
+			switch rng.Intn(4) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			case 1: // delete a span
+				at := rng.Intn(len(b))
+				n := 1 + rng.Intn(10)
+				if at+n > len(b) {
+					n = len(b) - at
+				}
+				b = append(b[:at], b[at+n:]...)
+			case 2: // duplicate a span
+				at := rng.Intn(len(b))
+				n := 1 + rng.Intn(10)
+				if at+n > len(b) {
+					n = len(b) - at
+				}
+				b = append(b[:at+n], b[at:]...)
+			case 3: // truncate
+				b = b[:rng.Intn(len(b))]
+			}
+			scanNoPanic(t, string(b))
+			mutations++
+		}
+	}
+	if mutations != 1500 {
+		t.Fatalf("ran %d mutations", mutations)
+	}
+}
+
+func TestRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for j := range b {
+			// Bias toward markup characters to reach deep scanner states.
+			switch rng.Intn(4) {
+			case 0:
+				b[j] = "<>&;!?/='\"[]"[rng.Intn(12)]
+			default:
+				b[j] = byte(rng.Intn(128))
+			}
+		}
+		scanNoPanic(t, string(b))
+	}
+}
+
+// TestMutatedThroughFullPipeline pushes mutations through scanner + TwigM:
+// errors must propagate, results must never be garbage on clean parses.
+func TestMutatedThroughFullPipeline(t *testing.T) {
+	// Import cycle avoidance: the pipeline variant lives in
+	// internal/integration; here we just assert the scanner+DOM contract
+	// that a clean parse yields balanced events.
+	rng := rand.New(rand.NewSource(3))
+	doc := datagen.PaperFigure1
+	for i := 0; i < 300; i++ {
+		b := []byte(doc)
+		b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		depth := 0
+		balanced := true
+		h := sax.HandlerFunc(func(ev *sax.Event) error {
+			switch ev.Kind {
+			case sax.StartElement:
+				if ev.Depth != depth+1 {
+					balanced = false
+				}
+				depth++
+			case sax.EndElement:
+				if ev.Depth != depth {
+					balanced = false
+				}
+				depth--
+			}
+			return nil
+		})
+		err := NewScanner(strings.NewReader(string(b))).Run(h)
+		if err == nil && (!balanced || depth != 0) {
+			t.Fatalf("clean parse with unbalanced events on %q", string(b))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package xmlscan
+
+import (
+	"io"
+
+	"repro/internal/sax"
+)
+
+// Puller is the pull-oriented view of the scanner: instead of pushing
+// events into a sax.Handler, callers ask for the next event — the shape of
+// encoding/xml's Token API. Internally it drives the same single-pass
+// scanner one token at a time and queues the events each token produces
+// (a self-closing tag yields two).
+//
+// Events returned by Next are valid until the following Next call: the
+// Puller copies attribute slices out of the scanner's reuse buffer but
+// recycles its own queue slots.
+type Puller struct {
+	s     *Scanner
+	queue []sax.Event
+	head  int
+	done  bool
+	err   error
+}
+
+// NewPuller returns a pull-based scanner over r.
+func NewPuller(r io.Reader) *Puller {
+	p := &Puller{s: NewScanner(r)}
+	p.s.started = true // the Puller owns the run protocol
+	p.queue = append(p.queue, sax.Event{Kind: sax.StartDocument})
+	return p
+}
+
+// enqueue implements sax.Handler over the Puller's queue.
+func (p *Puller) enqueue(ev *sax.Event) error {
+	e := *ev
+	if len(e.Attrs) > 0 {
+		e.Attrs = append([]sax.Attr(nil), e.Attrs...)
+	}
+	p.queue = append(p.queue, e)
+	return nil
+}
+
+// Next returns the next event, or io.EOF after EndDocument has been
+// delivered. Malformed input returns a *SyntaxError (sticky).
+func (p *Puller) Next() (*sax.Event, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	for p.head >= len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+		if p.done {
+			p.err = io.EOF
+			return nil, p.err
+		}
+		h := sax.HandlerFunc(p.enqueue)
+		stepDone, err := p.s.step(h)
+		if err != nil {
+			p.err = err
+			return nil, err
+		}
+		if stepDone {
+			// Mirror Run's end-of-input validation.
+			if len(p.s.stack) > 0 {
+				p.err = p.s.syntaxf(p.s.off, "unexpected EOF: %d element(s) still open, innermost <%s>",
+					len(p.s.stack), p.s.stack[len(p.s.stack)-1])
+				return nil, p.err
+			}
+			if !p.s.seenRoot {
+				p.err = p.s.syntaxf(p.s.off, "document has no root element")
+				return nil, p.err
+			}
+			if rerr := p.s.pendingErr(); rerr != nil {
+				p.err = rerr
+				return nil, p.err
+			}
+			p.queue = append(p.queue, sax.Event{Kind: sax.EndDocument, Offset: p.s.off})
+			p.done = true
+		}
+	}
+	ev := &p.queue[p.head]
+	p.head++
+	return ev, nil
+}

@@ -1,0 +1,147 @@
+package xmlscan
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sax"
+)
+
+// pullAll drains a Puller into a trace.
+func pullAll(t *testing.T, doc string) ([]string, error) {
+	t.Helper()
+	p := NewPuller(strings.NewReader(doc))
+	var out []string
+	for {
+		ev, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, fmt.Sprintf("%v|%s|%d|%s|%v", ev.Kind, ev.Name, ev.Depth, ev.Text, ev.Attrs))
+	}
+}
+
+// pushAll produces the same trace through the push API.
+func pushAll(t *testing.T, doc string) ([]string, error) {
+	t.Helper()
+	var out []string
+	err := NewScanner(strings.NewReader(doc)).Run(sax.HandlerFunc(func(ev *sax.Event) error {
+		out = append(out, fmt.Sprintf("%v|%s|%d|%s|%v", ev.Kind, ev.Name, ev.Depth, ev.Text, ev.Attrs))
+		return nil
+	}))
+	return out, err
+}
+
+func TestPullMatchesPush(t *testing.T) {
+	docs := []string{
+		"<a/>",
+		"<a>x<b d='1'/>y</a>",
+		datagen.PaperFigure1,
+		`<?xml version="1.0"?><r><!--c--><x><![CDATA[data]]></x></r>`,
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		docs = append(docs, datagen.DefaultRandomTree.Generate(rng))
+	}
+	for _, doc := range docs {
+		a, errA := pullAll(t, doc)
+		b, errB := pushAll(t, doc)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error disagreement on %q: pull=%v push=%v", doc, errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trace lengths differ on %q: %d vs %d\npull: %v\npush: %v", doc, len(a), len(b), a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("event %d differs on %q:\npull: %s\npush: %s", i, doc, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPullSelfClosingYieldsTwoEvents(t *testing.T) {
+	p := NewPuller(strings.NewReader("<a/>"))
+	kinds := []sax.Kind{}
+	for {
+		ev, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []sax.Kind{sax.StartDocument, sax.StartElement, sax.EndElement, sax.EndDocument}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v", kinds)
+		}
+	}
+}
+
+func TestPullErrorsSticky(t *testing.T) {
+	p := NewPuller(strings.NewReader("<a><b></a>"))
+	var firstErr error
+	for i := 0; i < 20; i++ {
+		_, err := p.Next()
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("expected syntax error")
+	}
+	if _, err := p.Next(); !errors.Is(err, firstErr) && err == nil {
+		t.Fatal("error must be sticky")
+	}
+}
+
+func TestPullEOFSticky(t *testing.T) {
+	p := NewPuller(strings.NewReader("<a/>"))
+	for {
+		if _, err := p.Next(); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if _, err := p.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF must be sticky, got %v", err)
+	}
+}
+
+func TestPullAttrsSurviveNextToken(t *testing.T) {
+	p := NewPuller(strings.NewReader(`<a x="1"><b y="2"/></a>`))
+	var saved *sax.Event
+	for {
+		ev, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == sax.StartElement && ev.Name == "a" {
+			cp := *ev
+			saved = &cp
+		}
+	}
+	if saved == nil || len(saved.Attrs) != 1 || saved.Attrs[0].Value != "1" {
+		t.Fatalf("saved attrs corrupted: %+v", saved)
+	}
+}

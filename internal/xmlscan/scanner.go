@@ -1,0 +1,872 @@
+// Package xmlscan is a from-scratch streaming XML scanner: the "XML SAX
+// parser" substrate of the ViteX architecture (ICDE 2005, figure 2). It reads
+// an XML byte stream from an io.Reader in a single forward pass and emits
+// sax.Event values — no DOM, no lookahead beyond the current token, memory
+// bounded by the largest single token (tag or coalesced text run).
+//
+// Supported XML surface: elements, attributes (single or double quoted),
+// self-closing tags, character data, CDATA sections, comments, processing
+// instructions, XML declarations, DOCTYPE declarations (including bracketed
+// internal subsets, which are skipped), and entity references — the five
+// predefined entities plus decimal and hexadecimal character references.
+// Unsupported (rejected or ignored, see scan tests): external DTD entity
+// expansion and namespace processing; ViteX matches lexical QNames.
+//
+// The scanner enforces the well-formedness properties the downstream TwigM
+// machine relies on: tags balance, exactly one root element, and no character
+// data outside the root other than whitespace.
+package xmlscan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sax"
+)
+
+// Scanner streams sax events from an io.Reader. Create with NewScanner; a
+// Scanner is single-use (one document) and not safe for concurrent use.
+type Scanner struct {
+	r      io.Reader
+	buf    []byte
+	pos    int   // next unread byte in buf
+	end    int   // valid bytes in buf
+	off    int64 // byte offset of buf[pos] in the input
+	err    error // sticky read error (io.EOF when input exhausted)
+	depth  int
+	stack  []string // open element names, for balance checking
+	text   strings.Builder
+	textAt int64 // offset of the first byte of the pending text run
+	// event is reused across emissions to avoid per-event allocation.
+	event sax.Event
+	attrs []sax.Attr
+	// seenRoot records that the root element has closed.
+	seenRoot bool
+	started  bool
+	// entities holds general entities declared in the DOCTYPE internal
+	// subset (<!ENTITY name "value">). Values are raw replacement text;
+	// they are expanded recursively at reference sites with depth and
+	// size guards (see expandEntity).
+	entities map[string]string
+}
+
+// Entity-expansion guards: nesting depth and total expanded size, the
+// classic defenses against exponential-entity inputs ("billion laughs").
+const (
+	maxEntityDepth  = 16
+	maxEntityExpand = 1 << 20
+)
+
+// DefaultBufferSize is the initial read buffer size. The buffer grows only
+// when a single token exceeds it.
+const DefaultBufferSize = 64 << 10
+
+// NewScanner returns a Scanner reading from r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: r, buf: make([]byte, DefaultBufferSize)}
+}
+
+// SyntaxError describes a malformed-XML failure with its byte offset.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlscan: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+func (s *Scanner) syntaxf(off int64, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Run implements sax.Driver: it parses the whole document, delivering events
+// to h, and returns the first handler or syntax error.
+func (s *Scanner) Run(h sax.Handler) error {
+	if s.started {
+		return fmt.Errorf("xmlscan: Scanner is single-use")
+	}
+	s.started = true
+	if err := s.emit(h, sax.StartDocument, "", 0, "", nil, 0); err != nil {
+		return err
+	}
+	for {
+		done, err := s.step(h)
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	if len(s.stack) > 0 {
+		return s.syntaxf(s.off, "unexpected EOF: %d element(s) still open, innermost <%s>", len(s.stack), s.stack[len(s.stack)-1])
+	}
+	if !s.seenRoot {
+		return s.syntaxf(s.off, "document has no root element")
+	}
+	return s.emit(h, sax.EndDocument, "", 0, "", nil, s.off)
+}
+
+// step consumes one token (tag, comment, PI, text run boundary). It returns
+// done=true at clean EOF.
+func (s *Scanner) step(h sax.Handler) (bool, error) {
+	c, ok := s.peek()
+	if !ok {
+		if err := s.flushText(h); err != nil {
+			return false, err
+		}
+		return true, s.pendingErr()
+	}
+	if c != '<' {
+		return false, s.scanText()
+	}
+	// A markup token. Pending text is flushed by every branch except
+	// CDATA: in the XPath data model a CDATA section continues the
+	// surrounding text node, while comments and processing instructions
+	// are nodes of their own and therefore split text runs.
+	start := s.off
+	s.advance(1)
+	c, ok = s.peek()
+	if !ok {
+		return false, s.syntaxf(start, "unexpected EOF after '<'")
+	}
+	switch c {
+	case '?':
+		if err := s.flushText(h); err != nil {
+			return false, err
+		}
+		return false, s.scanPI(start)
+	case '!':
+		return false, s.scanBang(h, start)
+	case '/':
+		if err := s.flushText(h); err != nil {
+			return false, err
+		}
+		s.advance(1)
+		return false, s.scanEndTag(h, start)
+	default:
+		if err := s.flushText(h); err != nil {
+			return false, err
+		}
+		return false, s.scanStartTag(h, start)
+	}
+}
+
+// ---- byte-level helpers ----
+
+// fill reads more input. Returns false when no byte is available.
+func (s *Scanner) fill() bool {
+	if s.err != nil {
+		return false
+	}
+	if s.pos > 0 {
+		// Slide the unread tail to the front to make room.
+		copy(s.buf, s.buf[s.pos:s.end])
+		s.end -= s.pos
+		s.pos = 0
+	}
+	if s.end == len(s.buf) {
+		// Token larger than the buffer: grow.
+		nb := make([]byte, len(s.buf)*2)
+		copy(nb, s.buf[:s.end])
+		s.buf = nb
+	}
+	n, err := s.r.Read(s.buf[s.end:])
+	s.end += n
+	if err != nil {
+		s.err = err
+	}
+	return n > 0
+}
+
+func (s *Scanner) pendingErr() error {
+	if s.err != nil && s.err != io.EOF {
+		return s.err
+	}
+	return nil
+}
+
+func (s *Scanner) peek() (byte, bool) {
+	for s.pos == s.end {
+		if !s.fill() {
+			return 0, false
+		}
+	}
+	return s.buf[s.pos], true
+}
+
+func (s *Scanner) advance(n int) {
+	s.pos += n
+	s.off += int64(n)
+}
+
+// readByte consumes and returns the next byte.
+func (s *Scanner) readByte() (byte, bool) {
+	c, ok := s.peek()
+	if ok {
+		s.advance(1)
+	}
+	return c, ok
+}
+
+// skipSpace consumes XML whitespace.
+func (s *Scanner) skipSpace() {
+	for {
+		c, ok := s.peek()
+		if !ok || !isSpace(c) {
+			return
+		}
+		s.advance(1)
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// isNameStart / isNameByte approximate the XML Name grammar. Multi-byte
+// UTF-8 sequences are accepted wholesale (any byte >= 0x80), which admits
+// all non-ASCII name characters; the fine-grained Unicode classes of the XML
+// spec are not enforced — lexical matching downstream makes this harmless.
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameByte(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// readName scans an XML Name.
+func (s *Scanner) readName() (string, error) {
+	c, ok := s.peek()
+	if !ok {
+		return "", s.syntaxf(s.off, "unexpected EOF, expected name")
+	}
+	if !isNameStart(c) {
+		return "", s.syntaxf(s.off, "invalid name start character %q", c)
+	}
+	var b strings.Builder
+	for {
+		c, ok := s.peek()
+		if !ok || !isNameByte(c) {
+			break
+		}
+		b.WriteByte(c)
+		s.advance(1)
+	}
+	return b.String(), nil
+}
+
+// expect consumes the literal lit or fails.
+func (s *Scanner) expect(lit string) error {
+	for i := 0; i < len(lit); i++ {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(s.off, "unexpected EOF, expected %q", lit)
+		}
+		if c != lit[i] {
+			return s.syntaxf(s.off-1, "expected %q, found %q", lit, c)
+		}
+	}
+	return nil
+}
+
+// ---- token scanners ----
+
+// scanText accumulates character data up to the next '<'. Entity and
+// character references are resolved inline; CDATA sections are merged by the
+// caller loop (scanBang appends to s.text).
+func (s *Scanner) scanText() error {
+	if s.text.Len() == 0 {
+		s.textAt = s.off
+	}
+	for {
+		c, ok := s.peek()
+		if !ok || c == '<' {
+			return nil
+		}
+		if c == '&' {
+			r, err := s.scanReference()
+			if err != nil {
+				return err
+			}
+			s.text.WriteString(r)
+			continue
+		}
+		if c == '>' {
+			// "]]>" must not appear in character data; a lone '>' is
+			// tolerated (browsers and encoding/xml accept it).
+			s.text.WriteByte(c)
+			s.advance(1)
+			continue
+		}
+		s.text.WriteByte(c)
+		s.advance(1)
+	}
+}
+
+// scanReference parses an entity or character reference starting at '&'.
+func (s *Scanner) scanReference() (string, error) {
+	start := s.off
+	s.advance(1) // consume '&'
+	c, ok := s.peek()
+	if !ok {
+		return "", s.syntaxf(start, "unexpected EOF in entity reference")
+	}
+	if c == '#' {
+		s.advance(1)
+		base := 10
+		c, ok = s.peek()
+		if ok && (c == 'x' || c == 'X') {
+			base = 16
+			s.advance(1)
+		}
+		var n rune
+		digits := 0
+		for {
+			c, ok = s.peek()
+			if !ok {
+				return "", s.syntaxf(start, "unexpected EOF in character reference")
+			}
+			if c == ';' {
+				s.advance(1)
+				break
+			}
+			var d int
+			switch {
+			case c >= '0' && c <= '9':
+				d = int(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = int(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = int(c-'A') + 10
+			default:
+				return "", s.syntaxf(s.off, "invalid digit %q in character reference", c)
+			}
+			s.advance(1)
+			n = n*rune(base) + rune(d)
+			digits++
+			if n > 0x10FFFF {
+				return "", s.syntaxf(start, "character reference out of range")
+			}
+		}
+		if digits == 0 {
+			return "", s.syntaxf(start, "empty character reference")
+		}
+		return string(n), nil
+	}
+	name, err := s.readName()
+	if err != nil {
+		return "", err
+	}
+	if err := s.expect(";"); err != nil {
+		return "", err
+	}
+	switch name {
+	case "amp":
+		return "&", nil
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if repl, ok := s.entities[name]; ok {
+		expanded, err := s.expandEntity(start, name, repl, 0, 0)
+		if err != nil {
+			return "", err
+		}
+		return expanded, nil
+	}
+	return "", s.syntaxf(start, "unknown entity &%s; (external entities are not supported)", name)
+}
+
+// expandEntity resolves an internal-subset entity's replacement text:
+// nested character and general entity references expand recursively;
+// markup-bearing replacement text ('<') is rejected — entities here are
+// character data, not document structure (documented limitation).
+func (s *Scanner) expandEntity(off int64, name, repl string, depth, budget int) (string, error) {
+	if depth >= maxEntityDepth {
+		return "", s.syntaxf(off, "entity &%s; nested more than %d levels", name, maxEntityDepth)
+	}
+	var b strings.Builder
+	for i := 0; i < len(repl); i++ {
+		c := repl[i]
+		switch c {
+		case '<':
+			return "", s.syntaxf(off, "entity &%s; contains markup, which is not supported", name)
+		case '&':
+			end := strings.IndexByte(repl[i:], ';')
+			if end < 0 {
+				return "", s.syntaxf(off, "unterminated reference inside entity &%s;", name)
+			}
+			ref := repl[i+1 : i+end]
+			i += end
+			sub, err := s.resolveInnerRef(off, name, ref, depth)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(sub)
+		default:
+			b.WriteByte(c)
+		}
+		if budget+b.Len() > maxEntityExpand {
+			return "", s.syntaxf(off, "entity &%s; expands beyond %d bytes", name, maxEntityExpand)
+		}
+	}
+	return b.String(), nil
+}
+
+func (s *Scanner) resolveInnerRef(off int64, outer, ref string, depth int) (string, error) {
+	if strings.HasPrefix(ref, "#") {
+		n, err := parseCharRef(ref[1:])
+		if err != nil {
+			return "", s.syntaxf(off, "bad character reference &%s; inside entity &%s;", ref, outer)
+		}
+		return string(n), nil
+	}
+	switch ref {
+	case "amp":
+		return "&", nil
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	repl, ok := s.entities[ref]
+	if !ok {
+		return "", s.syntaxf(off, "unknown entity &%s; inside entity &%s;", ref, outer)
+	}
+	return s.expandEntity(off, ref, repl, depth+1, 0)
+}
+
+// parseCharRef parses the digits of a character reference (after '#').
+func parseCharRef(digits string) (rune, error) {
+	base := 10
+	if len(digits) > 0 && (digits[0] == 'x' || digits[0] == 'X') {
+		base = 16
+		digits = digits[1:]
+	}
+	if digits == "" {
+		return 0, fmt.Errorf("empty character reference")
+	}
+	var n rune
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("invalid digit %q", c)
+		}
+		n = n*rune(base) + rune(d)
+		if n > 0x10FFFF {
+			return 0, fmt.Errorf("out of range")
+		}
+	}
+	return n, nil
+}
+
+// flushText emits a pending Text event, if any. Whitespace-only text outside
+// the root element is dropped; non-whitespace there is a syntax error.
+func (s *Scanner) flushText(h sax.Handler) error {
+	if s.text.Len() == 0 {
+		return nil
+	}
+	t := s.text.String()
+	s.text.Reset()
+	if s.depth == 0 {
+		if strings.TrimLeft(t, " \t\r\n") != "" {
+			return s.syntaxf(s.textAt, "character data outside root element")
+		}
+		return nil
+	}
+	return s.emit(h, sax.Text, "", s.depth+1, t, nil, s.textAt)
+}
+
+// scanStartTag parses "<name attr=... >" with '<' already consumed.
+func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
+	if s.seenRoot && s.depth == 0 {
+		return s.syntaxf(start, "multiple root elements")
+	}
+	name, err := s.readName()
+	if err != nil {
+		return err
+	}
+	s.attrs = s.attrs[:0]
+	selfClose := false
+	for {
+		s.skipSpace()
+		c, ok := s.peek()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in tag <%s>", name)
+		}
+		if c == '>' {
+			s.advance(1)
+			break
+		}
+		if c == '/' {
+			s.advance(1)
+			if err := s.expect(">"); err != nil {
+				return err
+			}
+			selfClose = true
+			break
+		}
+		aname, err := s.readName()
+		if err != nil {
+			return err
+		}
+		s.skipSpace()
+		if err := s.expect("="); err != nil {
+			return err
+		}
+		s.skipSpace()
+		aval, err := s.scanAttrValue()
+		if err != nil {
+			return err
+		}
+		for i := range s.attrs {
+			if s.attrs[i].Name == aname {
+				return s.syntaxf(start, "duplicate attribute %q in <%s>", aname, name)
+			}
+		}
+		s.attrs = append(s.attrs, sax.Attr{Name: aname, Value: aval})
+	}
+	s.depth++
+	s.stack = append(s.stack, name)
+	var evAttrs []sax.Attr
+	if len(s.attrs) > 0 {
+		evAttrs = s.attrs
+	}
+	if err := s.emit(h, sax.StartElement, name, s.depth, "", evAttrs, start); err != nil {
+		return err
+	}
+	if selfClose {
+		if err := s.emit(h, sax.EndElement, name, s.depth, "", nil, start); err != nil {
+			return err
+		}
+		s.closeElement()
+	}
+	return nil
+}
+
+// scanAttrValue parses a quoted attribute value with references resolved.
+func (s *Scanner) scanAttrValue() (string, error) {
+	q, ok := s.readByte()
+	if !ok {
+		return "", s.syntaxf(s.off, "unexpected EOF, expected attribute value")
+	}
+	if q != '\'' && q != '"' {
+		return "", s.syntaxf(s.off-1, "attribute value must be quoted, found %q", q)
+	}
+	var b strings.Builder
+	for {
+		c, ok := s.peek()
+		if !ok {
+			return "", s.syntaxf(s.off, "unexpected EOF in attribute value")
+		}
+		if c == q {
+			s.advance(1)
+			return b.String(), nil
+		}
+		if c == '<' {
+			return "", s.syntaxf(s.off, "'<' not allowed in attribute value")
+		}
+		if c == '&' {
+			r, err := s.scanReference()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+			continue
+		}
+		b.WriteByte(c)
+		s.advance(1)
+	}
+}
+
+// scanEndTag parses "</name>" with "</" already consumed.
+func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
+	name, err := s.readName()
+	if err != nil {
+		return err
+	}
+	s.skipSpace()
+	if err := s.expect(">"); err != nil {
+		return err
+	}
+	if s.depth == 0 {
+		return s.syntaxf(start, "unmatched end tag </%s>", name)
+	}
+	open := s.stack[len(s.stack)-1]
+	if open != name {
+		return s.syntaxf(start, "mismatched end tag: </%s> closes <%s>", name, open)
+	}
+	if err := s.emit(h, sax.EndElement, name, s.depth, "", nil, start); err != nil {
+		return err
+	}
+	s.closeElement()
+	return nil
+}
+
+func (s *Scanner) closeElement() {
+	s.stack = s.stack[:len(s.stack)-1]
+	s.depth--
+	if s.depth == 0 {
+		s.seenRoot = true
+	}
+}
+
+// scanPI skips "<?...?>" (XML declarations and processing instructions).
+func (s *Scanner) scanPI(start int64) error {
+	s.advance(1) // consume '?'
+	prev := byte(0)
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in processing instruction")
+		}
+		if prev == '?' && c == '>' {
+			return nil
+		}
+		prev = c
+	}
+}
+
+// scanBang dispatches "<!--", "<![CDATA[" and "<!DOCTYPE" with "<!" partially
+// consumed (the '!' is still pending). Comments and DOCTYPE flush pending
+// text; CDATA extends it.
+func (s *Scanner) scanBang(h sax.Handler, start int64) error {
+	s.advance(1) // consume '!'
+	c, ok := s.peek()
+	if !ok {
+		return s.syntaxf(start, "unexpected EOF after '<!'")
+	}
+	switch {
+	case c == '-':
+		if err := s.flushText(h); err != nil {
+			return err
+		}
+		return s.scanComment(start)
+	case c == '[':
+		return s.scanCDATA(start)
+	case c == 'D':
+		if err := s.flushText(h); err != nil {
+			return err
+		}
+		return s.scanDoctype(start)
+	default:
+		return s.syntaxf(start, "unsupported markup declaration <!%c", c)
+	}
+}
+
+// scanComment skips "<!-- ... -->", enforcing the no-"--" rule loosely
+// (only the terminator is required).
+func (s *Scanner) scanComment(start int64) error {
+	if err := s.expect("--"); err != nil {
+		return err
+	}
+	var p1, p2 byte
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in comment")
+		}
+		if p1 == '-' && p2 == '-' {
+			if c == '>' {
+				return nil
+			}
+			return s.syntaxf(s.off-1, "'--' not allowed inside comment")
+		}
+		p1, p2 = p2, c
+	}
+}
+
+// scanCDATA appends "<![CDATA[ ... ]]>" content to the pending text run.
+func (s *Scanner) scanCDATA(start int64) error {
+	if err := s.expect("[CDATA["); err != nil {
+		return err
+	}
+	if s.depth == 0 {
+		return s.syntaxf(start, "CDATA section outside root element")
+	}
+	if s.text.Len() == 0 {
+		s.textAt = start
+	}
+	var p1, p2 byte
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in CDATA section")
+		}
+		if p1 == ']' && p2 == ']' && c == '>' {
+			return nil
+		}
+		// p1 leaves the window; it is confirmed CDATA content.
+		if p1 != 0 {
+			s.text.WriteByte(p1)
+		}
+		p1, p2 = p2, c
+	}
+}
+
+// scanDoctype processes "<!DOCTYPE ... >". The external identifier is
+// skipped; inside a bracketed internal subset, <!ENTITY name "value">
+// declarations are collected for reference expansion while everything else
+// (element/attlist/notation declarations, parameter entities, PIs,
+// comments) is skipped. Quoted strings are respected so '>' inside literals
+// does not terminate early.
+func (s *Scanner) scanDoctype(start int64) error {
+	if err := s.expect("DOCTYPE"); err != nil {
+		return err
+	}
+	bracket := 0
+	var quote byte
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in DOCTYPE")
+		}
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '[':
+			bracket++
+		case ']':
+			bracket--
+		case '<':
+			if bracket > 0 {
+				if err := s.scanSubsetDecl(start); err != nil {
+					return err
+				}
+			}
+		case '>':
+			if bracket <= 0 {
+				return nil
+			}
+		}
+	}
+}
+
+// scanSubsetDecl handles one declaration inside the internal subset, with
+// the leading '<' consumed. Only <!ENTITY name "value"> is interpreted.
+func (s *Scanner) scanSubsetDecl(start int64) error {
+	c, ok := s.peek()
+	if !ok {
+		return s.syntaxf(start, "unexpected EOF in DOCTYPE internal subset")
+	}
+	if c != '!' {
+		// PI or junk: let the caller's quote/bracket tracking resume.
+		return nil
+	}
+	s.advance(1)
+	// Read the declaration keyword (letters only).
+	var kw strings.Builder
+	for {
+		c, ok = s.peek()
+		if !ok || c < 'A' || c > 'Z' {
+			break
+		}
+		kw.WriteByte(c)
+		s.advance(1)
+	}
+	if kw.String() != "ENTITY" {
+		// Other declarations (ELEMENT, ATTLIST, NOTATION) or comments:
+		// skip to the closing '>' respecting quotes. Comments ("--")
+		// are tolerated loosely here.
+		return s.skipDeclTail(start)
+	}
+	s.skipSpace()
+	c, ok = s.peek()
+	if !ok {
+		return s.syntaxf(start, "unexpected EOF in entity declaration")
+	}
+	if c == '%' {
+		// Parameter entity: not supported, skip the declaration.
+		return s.skipDeclTail(start)
+	}
+	name, err := s.readName()
+	if err != nil {
+		return err
+	}
+	s.skipSpace()
+	c, ok = s.peek()
+	if !ok {
+		return s.syntaxf(start, "unexpected EOF in entity declaration")
+	}
+	if c != '\'' && c != '"' {
+		// SYSTEM/PUBLIC external entity: unsupported, skipped; a later
+		// reference to it reports "unknown entity".
+		return s.skipDeclTail(start)
+	}
+	quote := c
+	s.advance(1)
+	var val strings.Builder
+	for {
+		c, ok = s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in entity value")
+		}
+		if c == quote {
+			break
+		}
+		val.WriteByte(c)
+	}
+	if s.entities == nil {
+		s.entities = make(map[string]string)
+	}
+	// Per XML, the first declaration of an entity binds.
+	if _, exists := s.entities[name]; !exists {
+		s.entities[name] = val.String()
+	}
+	return s.skipDeclTail(start)
+}
+
+// skipDeclTail consumes up to and including the '>' ending a subset
+// declaration, respecting quoted literals.
+func (s *Scanner) skipDeclTail(start int64) error {
+	var quote byte
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in DOCTYPE declaration")
+		}
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '>':
+			return nil
+		}
+	}
+}
+
+// emit delivers one event to the handler.
+func (s *Scanner) emit(h sax.Handler, k sax.Kind, name string, depth int, text string, attrs []sax.Attr, off int64) error {
+	s.event = sax.Event{Kind: k, Name: name, Depth: depth, Text: text, Attrs: attrs, Offset: off}
+	return h.HandleEvent(&s.event)
+}

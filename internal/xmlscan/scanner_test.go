@@ -1,0 +1,357 @@
+package xmlscan
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sax"
+)
+
+// collect runs the scanner over doc and returns a compact textual trace of
+// the events, or the error.
+func collect(t *testing.T, doc string) ([]string, error) {
+	t.Helper()
+	var out []string
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		switch ev.Kind {
+		case sax.StartDocument:
+			out = append(out, "doc(")
+		case sax.EndDocument:
+			out = append(out, ")doc")
+		case sax.StartElement:
+			s := fmt.Sprintf("<%s d%d", ev.Name, ev.Depth)
+			for _, a := range ev.Attrs {
+				s += fmt.Sprintf(" %s=%q", a.Name, a.Value)
+			}
+			out = append(out, s+">")
+		case sax.EndElement:
+			out = append(out, fmt.Sprintf("</%s d%d>", ev.Name, ev.Depth))
+		case sax.Text:
+			out = append(out, fmt.Sprintf("text(d%d,%q)", ev.Depth, ev.Text))
+		}
+		return nil
+	})
+	err := NewScanner(strings.NewReader(doc)).Run(h)
+	return out, err
+}
+
+func mustCollect(t *testing.T, doc string) []string {
+	t.Helper()
+	out, err := collect(t, doc)
+	if err != nil {
+		t.Fatalf("scan %q: %v", doc, err)
+	}
+	return out
+}
+
+func assertTrace(t *testing.T, doc string, want ...string) {
+	t.Helper()
+	got := mustCollect(t, doc)
+	want = append(append([]string{"doc("}, want...), ")doc")
+	if len(got) != len(want) {
+		t.Fatalf("scan %q:\n got %v\nwant %v", doc, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan %q: event %d = %q, want %q\nfull: %v", doc, i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSimpleElement(t *testing.T) {
+	assertTrace(t, "<a></a>", "<a d1>", "</a d1>")
+}
+
+func TestNestedElements(t *testing.T) {
+	assertTrace(t, "<a><b><c/></b></a>",
+		"<a d1>", "<b d2>", "<c d3>", "</c d3>", "</b d2>", "</a d1>")
+}
+
+func TestTextContent(t *testing.T) {
+	assertTrace(t, "<a>hello</a>", "<a d1>", `text(d2,"hello")`, "</a d1>")
+}
+
+func TestTextDepths(t *testing.T) {
+	assertTrace(t, "<a>x<b>y</b>z</a>",
+		"<a d1>", `text(d2,"x")`, "<b d2>", `text(d3,"y")`, "</b d2>", `text(d2,"z")`, "</a d1>")
+}
+
+func TestAttributes(t *testing.T) {
+	assertTrace(t, `<a id="1" name='n &amp; m'/>`,
+		`<a d1 id="1" name="n & m">`, "</a d1>")
+}
+
+func TestAttributeWhitespace(t *testing.T) {
+	assertTrace(t, "<a  id = \"1\"\n\tb='2' ></a>",
+		`<a d1 id="1" b="2">`, "</a d1>")
+}
+
+func TestSelfClosing(t *testing.T) {
+	assertTrace(t, "<a><b/></a>", "<a d1>", "<b d2>", "</b d2>", "</a d1>")
+}
+
+func TestEntities(t *testing.T) {
+	assertTrace(t, "<a>&lt;&gt;&amp;&apos;&quot;</a>",
+		"<a d1>", `text(d2,"<>&'\"")`, "</a d1>")
+}
+
+func TestCharRefs(t *testing.T) {
+	assertTrace(t, "<a>&#65;&#x42;&#x1F600;</a>",
+		"<a d1>", fmt.Sprintf("text(d2,%q)", "AB\U0001F600"), "</a d1>")
+}
+
+func TestCDATA(t *testing.T) {
+	assertTrace(t, "<a><![CDATA[<not>&markup;]]></a>",
+		"<a d1>", `text(d2,"<not>&markup;")`, "</a d1>")
+}
+
+// CDATA must coalesce with surrounding character data into one text node.
+func TestCDATACoalesces(t *testing.T) {
+	assertTrace(t, "<a>x<![CDATA[y]]>z</a>",
+		"<a d1>", `text(d2,"xyz")`, "</a d1>")
+}
+
+func TestCDATAEmpty(t *testing.T) {
+	assertTrace(t, "<a><![CDATA[]]>v</a>", "<a d1>", `text(d2,"v")`, "</a d1>")
+}
+
+func TestCDATAWithBrackets(t *testing.T) {
+	assertTrace(t, "<a><![CDATA[a]b]]c]]></a>",
+		"<a d1>", `text(d2,"a]b]]c")`, "</a d1>")
+}
+
+// Comments split text runs (they are distinct nodes in the XPath data model).
+func TestCommentSplitsText(t *testing.T) {
+	assertTrace(t, "<a>x<!-- c -->y</a>",
+		"<a d1>", `text(d2,"x")`, `text(d2,"y")`, "</a d1>")
+}
+
+func TestCommentOutsideRoot(t *testing.T) {
+	assertTrace(t, "<!-- head --><a/><!-- tail -->", "<a d1>", "</a d1>")
+}
+
+func TestProcessingInstruction(t *testing.T) {
+	assertTrace(t, `<?xml version="1.0"?><a><?pi data?></a>`, "<a d1>", "</a d1>")
+}
+
+func TestDoctype(t *testing.T) {
+	assertTrace(t, `<!DOCTYPE book SYSTEM "book.dtd"><a/>`, "<a d1>", "</a d1>")
+}
+
+func TestDoctypeInternalSubset(t *testing.T) {
+	assertTrace(t, `<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> <!ENTITY e "x>y"> ]><a/>`,
+		"<a d1>", "</a d1>")
+}
+
+func TestWhitespaceOutsideRoot(t *testing.T) {
+	assertTrace(t, "\n  <a/>\n\t ", "<a d1>", "</a d1>")
+}
+
+func TestUTF8Names(t *testing.T) {
+	assertTrace(t, "<héllo>ü</héllo>", "<héllo d1>", `text(d2,"ü")`, "</héllo d1>")
+}
+
+func TestLoneGTInText(t *testing.T) {
+	assertTrace(t, "<a>1 > 0</a>", "<a d1>", `text(d2,"1 > 0")`, "</a d1>")
+}
+
+func TestDeepNesting(t *testing.T) {
+	const n = 200
+	doc := strings.Repeat("<x>", n) + strings.Repeat("</x>", n)
+	got := mustCollect(t, doc)
+	if len(got) != 2*n+2 {
+		t.Fatalf("got %d events, want %d", len(got), 2*n+2)
+	}
+	if got[n] != fmt.Sprintf("<x d%d>", n) {
+		t.Fatalf("innermost start = %q", got[n])
+	}
+}
+
+func TestLargeTextTokenGrowsBuffer(t *testing.T) {
+	big := strings.Repeat("lorem ipsum ", 20000) // ~240KB, > DefaultBufferSize
+	got := mustCollect(t, "<a>"+big+"</a>")
+	want := fmt.Sprintf("text(d2,%q)", big)
+	if got[2] != want {
+		t.Fatalf("large text mangled (len %d vs %d)", len(got[2]), len(want))
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	doc := `<a><b id="1"/></a>`
+	var offs []int64
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		if ev.Kind == sax.StartElement {
+			offs = append(offs, ev.Offset)
+		}
+		return nil
+	})
+	if err := NewScanner(strings.NewReader(doc)).Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 2 || offs[0] != 0 || offs[1] != 3 {
+		t.Fatalf("offsets = %v, want [0 3]", offs)
+	}
+}
+
+func TestSingleUse(t *testing.T) {
+	s := NewScanner(strings.NewReader("<a/>"))
+	nop := sax.HandlerFunc(func(*sax.Event) error { return nil })
+	if err := s.Run(nop); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(nop); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestHandlerErrorAborts(t *testing.T) {
+	wantErr := errors.New("stop")
+	n := 0
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		n++
+		if ev.Kind == sax.StartElement {
+			return wantErr
+		}
+		return nil
+	})
+	err := NewScanner(strings.NewReader("<a><b/></a>")).Run(h)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if n != 2 { // StartDocument + <a>
+		t.Fatalf("handler called %d times, want 2", n)
+	}
+}
+
+// --- error cases ---
+
+func wantSyntaxError(t *testing.T, doc, substr string) {
+	t.Helper()
+	_, err := collect(t, doc)
+	if err == nil {
+		t.Fatalf("scan %q: expected error containing %q, got nil", doc, substr)
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("scan %q: error %v is not a *SyntaxError", doc, err)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("scan %q: error %q does not contain %q", doc, err, substr)
+	}
+}
+
+func TestErrMismatchedTags(t *testing.T)    { wantSyntaxError(t, "<a><b></a></b>", "mismatched") }
+func TestErrUnclosedRoot(t *testing.T)      { wantSyntaxError(t, "<a><b></b>", "still open") }
+func TestErrMultipleRoots(t *testing.T)     { wantSyntaxError(t, "<a/><b/>", "multiple root") }
+func TestErrNoRoot(t *testing.T)            { wantSyntaxError(t, "  \n ", "no root") }
+func TestErrTextOutsideRoot(t *testing.T)   { wantSyntaxError(t, "junk<a/>", "outside root") }
+func TestErrTrailingText(t *testing.T)      { wantSyntaxError(t, "<a/>junk", "outside root") }
+func TestErrUnquotedAttr(t *testing.T)      { wantSyntaxError(t, "<a id=1/>", "quoted") }
+func TestErrDuplicateAttr(t *testing.T)     { wantSyntaxError(t, `<a x="1" x="2"/>`, "duplicate attribute") }
+func TestErrBadEntity(t *testing.T)         { wantSyntaxError(t, "<a>&nope;</a>", "unknown entity") }
+func TestErrBadCharRef(t *testing.T)        { wantSyntaxError(t, "<a>&#zz;</a>", "invalid digit") }
+func TestErrEmptyCharRef(t *testing.T)      { wantSyntaxError(t, "<a>&#;</a>", "character reference") }
+func TestErrHugeCharRef(t *testing.T)       { wantSyntaxError(t, "<a>&#x110000;</a>", "out of range") }
+func TestErrUnterminatedTag(t *testing.T)   { wantSyntaxError(t, "<a", "unexpected EOF") }
+func TestErrUnterminatedCDATA(t *testing.T) { wantSyntaxError(t, "<a><![CDATA[x</a>", "CDATA") }
+func TestErrCommentDoubleDash(t *testing.T) { wantSyntaxError(t, "<a><!-- a -- b --></a>", "--") }
+func TestErrUnmatchedEnd(t *testing.T)      { wantSyntaxError(t, "</a>", "unmatched end tag") }
+func TestErrLTInAttr(t *testing.T)          { wantSyntaxError(t, `<a x="<"/>`, "not allowed") }
+func TestErrBadNameStart(t *testing.T)      { wantSyntaxError(t, "<1a/>", "invalid name") }
+
+func TestErrEmptyInput(t *testing.T) { wantSyntaxError(t, "", "no root") }
+
+// errReader fails after n bytes, to exercise read-error propagation.
+type errReader struct {
+	s string
+	n int
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.n >= len(r.s) {
+		return 0, fmt.Errorf("disk on fire")
+	}
+	// Dribble one byte at a time to exercise buffer refills.
+	p[0] = r.s[r.n]
+	r.n++
+	return 1, nil
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	nop := sax.HandlerFunc(func(*sax.Event) error { return nil })
+	err := NewScanner(&errReader{s: "<a><b></b>"}).Run(nop)
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		// The scanner may also report the open-elements syntax error;
+		// either is acceptable as long as it fails.
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+}
+
+func TestOneByteReads(t *testing.T) {
+	doc := `<root a="v"><child>text &amp; more</child><!--c--><kid/></root>`
+	var a, b []string
+	ha := sax.HandlerFunc(func(ev *sax.Event) error { a = append(a, fmt.Sprint(*ev)); return nil })
+	hb := sax.HandlerFunc(func(ev *sax.Event) error { b = append(b, fmt.Sprint(*ev)); return nil })
+	if err := NewScanner(strings.NewReader(doc)).Run(ha); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewScanner(iotest1(doc)).Run(hb); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// iotest1 returns a reader that yields one byte per Read.
+func iotest1(s string) io.Reader { return &oneByteReader{s: s} }
+
+type oneByteReader struct {
+	s string
+	n int
+}
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if r.n >= len(r.s) {
+		return 0, io.EOF
+	}
+	p[0] = r.s[r.n]
+	r.n++
+	return 1, nil
+}
+
+func TestPaperFigure1(t *testing.T) {
+	// The 17-line sample document from figure 1 of the paper.
+	doc := datagen.PaperFigure1
+	var starts []string
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		if ev.Kind == sax.StartElement {
+			starts = append(starts, fmt.Sprintf("%s@%d", ev.Name, ev.Depth))
+		}
+		return nil
+	})
+	if err := NewScanner(strings.NewReader(doc)).Run(h); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"book@1", "section@2", "section@3", "section@4",
+		"table@5", "table@6", "table@7", "cell@8", "position@6", "author@3"}
+	if len(starts) != len(want) {
+		t.Fatalf("starts = %v", starts)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("start %d = %q, want %q", i, starts[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package xpath
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+)
+
+// Property (testing/quick-style over the repository's query generator):
+// every generated query parses, its canonical form is a fixed point, and
+// Size is stable across the round trip.
+func TestGeneratedQueriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		src := datagen.RandomQuery(rng, datagen.DefaultRandomTree, i%2 == 0)
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated query %q does not parse: %v", src, err)
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q (from %q) does not parse: %v", canon, src, err)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonical form not fixed point: %q -> %q", canon, q2.String())
+		}
+		if q2.Size() != q.Size() {
+			t.Fatalf("size changed across round trip: %d -> %d (%q)", q.Size(), q2.Size(), src)
+		}
+	}
+}
+
+// Property (testing/quick): arbitrary strings never panic the parser — they
+// parse or return a ParseError.
+func TestParseNeverPanicsQuick(t *testing.T) {
+	prop := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): comparison trichotomy for numeric literals —
+// for any float value v and literal l, exactly one of <, =, > holds (when v
+// parses as a number), and <= == (< or =).
+func TestComparisonTrichotomyQuick(t *testing.T) {
+	prop := func(v float64, l float64) bool {
+		if v != v || l != l || v > 1e300 || v < -1e300 || l > 1e300 || l < -1e300 {
+			return true // skip NaN/overflow noise
+		}
+		value := formatFloat(v)
+		mk := func(op Op) *Comparison {
+			return &Comparison{Op: op, Literal: formatFloat(l), Number: l, IsNum: true}
+		}
+		lt := mk(OpLt).Eval(value)
+		eq := mk(OpEq).Eval(value)
+		gt := mk(OpGt).Eval(value)
+		if count(lt, eq, gt) != 1 {
+			return false
+		}
+		le := mk(OpLe).Eval(value)
+		ge := mk(OpGe).Eval(value)
+		ne := mk(OpNe).Eval(value)
+		return le == (lt || eq) && ge == (gt || eq) && ne == !eq
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func count(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// formatFloat renders a float64 so it parses back to exactly the same
+// value ('g' with precision -1 round-trips).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

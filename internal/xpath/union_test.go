@@ -1,0 +1,59 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseUnionBranches(t *testing.T) {
+	qs, err := ParseUnion("//a[b] | /c/d | //e/@f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("branches = %d", len(qs))
+	}
+	wants := []string{"//a[b]", "/c/d", "//e/@f"}
+	for i, q := range qs {
+		if q.String() != wants[i] {
+			t.Errorf("branch %d = %q, want %q", i, q.String(), wants[i])
+		}
+		if q.Output == nil || !q.Output.Spine {
+			t.Errorf("branch %d output not set", i)
+		}
+	}
+}
+
+func TestParseUnionSingle(t *testing.T) {
+	qs, err := ParseUnion("//a")
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("qs=%v err=%v", qs, err)
+	}
+}
+
+func TestParseRejectsUnion(t *testing.T) {
+	_, err := Parse("//a | //b")
+	if err == nil || !strings.Contains(err.Error(), "ParseUnion") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseUnionErrors(t *testing.T) {
+	for _, src := range []string{
+		"//a |",
+		"| //a",
+		"//a | | //b",
+		"//a[x | y]", // '|' is only a top-level connective
+		"//a | b",    // second branch must be absolute
+	} {
+		if _, err := ParseUnion(src); err == nil {
+			t.Errorf("ParseUnion(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseUnionValidatesEveryBranch(t *testing.T) {
+	if _, err := ParseUnion("//a | //@id/b"); err == nil {
+		t.Fatal("invalid second branch must fail")
+	}
+}

@@ -1,0 +1,137 @@
+package vitex
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/sax"
+	"repro/internal/twigm"
+)
+
+// QuerySet evaluates several compiled queries over one XML stream in a
+// single sequential scan — the subscription scenario of the paper's
+// motivation (stock tickers, personalized newspapers: many standing queries,
+// one feed). Each query runs its own TwigM machine; the scan is shared, so
+// the cost is one parse plus the per-query machine work instead of one full
+// pass per query.
+type QuerySet struct {
+	queries []*Query
+}
+
+// NewQuerySet compiles all sources into a set. It fails on the first
+// query that does not compile.
+func NewQuerySet(sources ...string) (*QuerySet, error) {
+	qs := &QuerySet{}
+	for _, src := range sources {
+		q, err := Compile(src)
+		if err != nil {
+			return nil, err
+		}
+		qs.queries = append(qs.queries, q)
+	}
+	return qs, nil
+}
+
+// Add appends an already-compiled query.
+func (qs *QuerySet) Add(q *Query) { qs.queries = append(qs.queries, q) }
+
+// Len returns the number of queries in the set.
+func (qs *QuerySet) Len() int { return len(qs.queries) }
+
+// Query returns the i-th query of the set.
+func (qs *QuerySet) Query(i int) *Query { return qs.queries[i] }
+
+// SetResult tags a Result with the index of the query that produced it.
+type SetResult struct {
+	// QueryIndex identifies the query (position in NewQuerySet /Add
+	// order).
+	QueryIndex int
+	Result
+}
+
+// Stream evaluates every query in the set over one scan of r. emit receives
+// each solution tagged with its query index, in per-query confirmation
+// order (or per-query document order with Options.Ordered). It returns
+// per-query statistics.
+func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error) ([]Stats, error) {
+	var handlers sax.Fanout
+	perQuery := make([][]*twigm.Run, len(qs.queries))
+	// Union branches within one query share a dedup set; ordered union
+	// results are buffered and flushed in document order at end of scan.
+	var held []SetResult
+	for i, q := range qs.queries {
+		idx := i
+		union := len(q.progs) > 1
+		var seen map[int64]bool
+		if union {
+			seen = make(map[int64]bool)
+		}
+		for _, prog := range q.progs {
+			topts := twigm.Options{
+				Ordered:   opts.Ordered && !union,
+				CountOnly: opts.CountOnly,
+				Trace:     opts.Trace,
+			}
+			if emit != nil {
+				topts.Emit = func(tr twigm.Result) error {
+					if union {
+						if seen[tr.NodeOffset] {
+							return nil
+						}
+						seen[tr.NodeOffset] = true
+						if opts.Ordered {
+							held = append(held, SetResult{QueryIndex: idx, Result: Result(tr)})
+							return nil
+						}
+					}
+					return emit(SetResult{QueryIndex: idx, Result: Result(tr)})
+				}
+			}
+			run := prog.Start(topts)
+			perQuery[i] = append(perQuery[i], run)
+			handlers = append(handlers, run)
+		}
+	}
+	var drv sax.Driver
+	if opts.UseStdParser {
+		drv = sax.NewStdDriver(r)
+	} else {
+		drv = newScanner(r)
+	}
+	err := drv.Run(handlers)
+	stats := make([]Stats, len(qs.queries))
+	for i, runs := range perQuery {
+		stats[i] = mergeStats(runs)
+	}
+	if err != nil {
+		return stats, err
+	}
+	if len(held) > 0 && emit != nil {
+		sort.Slice(held, func(a, b int) bool {
+			if held[a].QueryIndex != held[b].QueryIndex {
+				return held[a].QueryIndex < held[b].QueryIndex
+			}
+			return held[a].NodeOffset < held[b].NodeOffset
+		})
+		for _, sr := range held {
+			if err := emit(sr); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// Counts evaluates the whole set counting solutions per query, without
+// serializing fragments.
+func (qs *QuerySet) Counts(r io.Reader) ([]int64, error) {
+	counts := make([]int64, qs.Len())
+	_, err := qs.Stream(r, Options{CountOnly: true}, func(sr SetResult) error {
+		counts[sr.QueryIndex]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}

@@ -1,0 +1,138 @@
+package vitex
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestQuerySetSingleScan(t *testing.T) {
+	qs, err := NewQuerySet(
+		"//trade[symbol='ACME']/price",
+		"//trade[symbol='GLOBEX']/volume",
+		"//trade/@seq",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := datagen.Ticker{Trades: 200, Seed: 3}.String()
+	perQuery := make([]int, qs.Len())
+	stats, err := qs.Stream(strings.NewReader(doc), Options{}, func(sr SetResult) error {
+		perQuery[sr.QueryIndex]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every query must agree with its individual evaluation.
+	for i := 0; i < qs.Len(); i++ {
+		solo, err := qs.Query(i).Count(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(perQuery[i]) != solo {
+			t.Fatalf("query %d: set found %d, solo found %d", i, perQuery[i], solo)
+		}
+	}
+	if perQuery[2] != 200 { // every trade has @seq
+		t.Fatalf("@seq count = %d", perQuery[2])
+	}
+	if len(stats) != 3 || stats[0].Events != stats[1].Events {
+		t.Fatalf("per-query stats inconsistent: %+v", stats)
+	}
+}
+
+func TestQuerySetCounts(t *testing.T) {
+	qs, err := NewQuerySet("//a", "//b", "//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := qs.Counts(strings.NewReader("<r><a/><b/><a/></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestQuerySetCompileError(t *testing.T) {
+	if _, err := NewQuerySet("//a", "bad["); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestQuerySetAdd(t *testing.T) {
+	qs, err := NewQuerySet("//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs.Add(MustCompile("//b"))
+	if qs.Len() != 2 {
+		t.Fatalf("len = %d", qs.Len())
+	}
+	counts, err := qs.Counts(strings.NewReader("<r><b/></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestQuerySetEmitError(t *testing.T) {
+	qs, err := NewQuerySet("//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	_, err = qs.Stream(strings.NewReader("<r><a/><a/></r>"), Options{}, func(SetResult) error {
+		n++
+		return &strError{"stop"}
+	})
+	if err == nil || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestQuerySetOrdered(t *testing.T) {
+	qs, err := NewQuerySet("//a[p]/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "<r><a><b>1</b><b>2</b><p/></a></r>"
+	var values []string
+	_, err = qs.Stream(strings.NewReader(doc), Options{Ordered: true}, func(sr SetResult) error {
+		values = append(values, sr.Value)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 2 || values[0] != "<b>1</b>" || values[1] != "<b>2</b>" {
+		t.Fatalf("values = %q", values)
+	}
+}
+
+func TestQuerySetPaperWorkload(t *testing.T) {
+	qs, err := NewQuerySet(
+		datagen.PaperQuery,
+		"//section//table//cell",
+		"//table[position]",
+		"//author",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := qs.Counts(strings.NewReader(datagen.PaperFigure1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}

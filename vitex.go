@@ -1,0 +1,320 @@
+// Package vitex is a streaming XPath processing system: a from-scratch Go
+// reproduction of ViteX (Chen, Davidson, Zheng — "ViteX: a Streaming XPath
+// Processing System", ICDE 2005).
+//
+// ViteX evaluates XPath queries in the fragment XP{/, //, *, []} — child
+// axes, descendant axes, wildcards and predicates — over XML streams in a
+// single sequential scan, with time and space polynomial in both data and
+// query size. The engine behind it, the TwigM machine, keeps one stack per
+// query node and encodes the (worst-case exponential) set of pattern
+// matches compactly in per-entry bitsets; query solutions are computed by
+// probing this structure lazily, without ever enumerating matches. Results
+// are delivered incrementally, as soon as they are proven, long before the
+// stream ends.
+//
+// The package is organized exactly like figure 2 of the paper:
+//
+//	XPath parser  (internal/xpath)  — query text → query tree
+//	TwigM builder (internal/twigm)  — query tree → machine, linear time
+//	SAX parser    (internal/xmlscan)— byte stream → events, single pass
+//	TwigM machine (internal/twigm)  — events → solutions
+//
+// Quick start:
+//
+//	q := vitex.MustCompile("//section[author]//table[position]//cell")
+//	err := q.Stream(file, vitex.Options{}, func(r vitex.Result) error {
+//		fmt.Println(r.Value)
+//		return nil
+//	})
+//
+// Supported XPath: abbreviated steps with / and //, name tests, *, @attr,
+// text(); predicates combining relative paths, attribute and text()
+// existence tests, value comparisons (= != < <= > >=) against string or
+// numeric literals, self comparisons [. = 'v'], 'and'/'or', parentheses and
+// nesting. Out of scope (rejected at compile time): functions (not(),
+// position(), ...), positional predicates, path-vs-path comparisons,
+// reverse and named axes, unions.
+package vitex
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sax"
+	"repro/internal/twigm"
+	"repro/internal/xmlscan"
+	"repro/internal/xpath"
+)
+
+// Result is one query solution.
+type Result struct {
+	// Seq numbers solutions in document order of their result nodes.
+	Seq int64
+	// NodeOffset identifies the result node by its byte position in the
+	// input: equal offsets across queries over the same stream mean the
+	// same node. Union evaluation deduplicates on it.
+	NodeOffset int64
+	// Value is the canonical serialization: the XML fragment for element
+	// results, the raw value for attribute and text() results. Empty
+	// when Options.CountOnly is set.
+	Value string
+	// ConfirmedAt and DeliveredAt are SAX-event indices recording when
+	// the solution was proven and when it was handed to the callback —
+	// the incremental-delivery latency of the paper's §1 requirement 2.
+	ConfirmedAt int64
+	DeliveredAt int64
+}
+
+// Stats reports the work a stream evaluation performed; see the fields of
+// twigm.Stats for the full accounting. The counters quantify the paper's
+// claims: PeakStackEntries and PeakBufferedBytes bound memory (claim 3),
+// FlagProps counts compact-encoding work (claim 4).
+type Stats = twigm.Stats
+
+// Options configures an evaluation.
+type Options struct {
+	// Ordered delivers results in document order instead of
+	// confirmation order (adds buffering latency).
+	Ordered bool
+	// CountOnly suppresses fragment serialization; Result.Value is
+	// empty. Fastest mode; used for counting and memory experiments.
+	CountOnly bool
+	// UseStdParser swaps the custom scanner for encoding/xml
+	// (cross-checking and parser-share ablations; roughly 5-10x slower
+	// on tag-dense input).
+	UseStdParser bool
+	// Trace, when non-nil, receives a human-readable log of every TwigM
+	// transition — stack pushes and pops, flag propagations, candidate
+	// lifecycle and emissions. The demonstration view of the system;
+	// substantially slower, leave nil in production.
+	Trace io.Writer
+}
+
+// Query is a compiled query: one immutable TwigM program per union branch
+// (a single-path query has exactly one). A Query can evaluate any number of
+// streams, including concurrently (each evaluation carries its own machine
+// state).
+type Query struct {
+	progs []*twigm.Program
+	src   string
+}
+
+// Compile parses an XPath query — including unions 'p1 | p2' — and builds
+// one TwigM machine per branch. Build time is linear in the query size.
+// Errors are *xpath.ParseError or *twigm.CompileError values describing the
+// offending position or width.
+func Compile(src string) (*Query, error) {
+	parsed, err := xpath.ParseUnion(src)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{src: src}
+	for _, branch := range parsed {
+		prog, err := twigm.Compile(branch)
+		if err != nil {
+			return nil, err
+		}
+		q.progs = append(q.progs, prog)
+	}
+	return q, nil
+}
+
+// MustCompile is Compile, panicking on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the canonical form of the query (branches joined by '|').
+func (q *Query) String() string {
+	parts := make([]string, len(q.progs))
+	for i, p := range q.progs {
+		parts[i] = p.Query().String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Source returns the original query text.
+func (q *Query) Source() string { return q.src }
+
+// Size returns the number of query nodes across all branches — the |Q| of
+// the paper's complexity bounds.
+func (q *Query) Size() int {
+	n := 0
+	for _, p := range q.progs {
+		n += p.NumNodes()
+	}
+	return n
+}
+
+// MachineDescription renders the TwigM machine tree(s) (the figure-3 view):
+// one node per line, '-' edges for child axes, '=' for descendant axes, '*'
+// marking the output node. Union branches are separated by a '|' line.
+func (q *Query) MachineDescription() string {
+	parts := make([]string, len(q.progs))
+	for i, p := range q.progs {
+		parts[i] = p.Describe()
+	}
+	return strings.Join(parts, "|\n")
+}
+
+// Stream evaluates the query over an XML stream, invoking emit for each
+// solution as soon as it is proven (or in document order with
+// Options.Ordered). It returns evaluation statistics and the first error:
+// malformed XML, a failed read, or an error returned by emit (which aborts
+// the stream).
+//
+// Union queries run one machine per branch over the same single scan.
+// Results are deduplicated by node (NodeOffset): without Ordered, a node is
+// emitted the first time any branch proves it; with Ordered, union results
+// are buffered to the end of the stream and emitted in document order
+// (single-path queries keep the cheaper streaming re-sequencer).
+func (q *Query) Stream(r io.Reader, opts Options, emit func(Result) error) (Stats, error) {
+	if len(q.progs) == 1 {
+		topts := twigm.Options{
+			Ordered:   opts.Ordered,
+			CountOnly: opts.CountOnly,
+			Trace:     opts.Trace,
+		}
+		if emit != nil {
+			topts.Emit = func(tr twigm.Result) error {
+				return emit(Result(tr))
+			}
+		}
+		run := q.progs[0].Start(topts)
+		if err := q.driver(r, opts).Run(run); err != nil {
+			return run.Stats(), err
+		}
+		return run.Stats(), nil
+	}
+	return q.streamUnion(r, opts, emit)
+}
+
+// streamUnion fans the scan out to one machine per branch, deduplicating by
+// node identity.
+func (q *Query) streamUnion(r io.Reader, opts Options, emit func(Result) error) (Stats, error) {
+	seen := make(map[int64]bool)
+	var held []Result // Ordered mode: buffer, sort, emit at end
+	handlers := make(sax.Fanout, len(q.progs))
+	runs := make([]*twigm.Run, len(q.progs))
+	for i, prog := range q.progs {
+		topts := twigm.Options{
+			CountOnly: opts.CountOnly,
+			Trace:     opts.Trace,
+		}
+		topts.Emit = func(tr twigm.Result) error {
+			if seen[tr.NodeOffset] {
+				return nil
+			}
+			seen[tr.NodeOffset] = true
+			if opts.Ordered {
+				held = append(held, Result(tr))
+				return nil
+			}
+			if emit != nil {
+				return emit(Result(tr))
+			}
+			return nil
+		}
+		runs[i] = prog.Start(topts)
+		handlers[i] = runs[i]
+	}
+	err := q.driver(r, opts).Run(handlers)
+	stats := mergeStats(runs)
+	if err != nil {
+		return stats, err
+	}
+	if opts.Ordered {
+		sort.Slice(held, func(i, j int) bool { return held[i].NodeOffset < held[j].NodeOffset })
+		for _, res := range held {
+			if emit != nil {
+				if err := emit(res); err != nil {
+					return stats, err
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// mergeStats aggregates per-branch statistics: counters sum, peaks take the
+// maximum, event counts come from the shared scan.
+func mergeStats(runs []*twigm.Run) Stats {
+	var out Stats
+	for i, run := range runs {
+		s := run.Stats()
+		if i == 0 {
+			out.Events = s.Events
+			out.Elements = s.Elements
+			out.MaxDepth = s.MaxDepth
+		}
+		out.Pushes += s.Pushes
+		out.Pops += s.Pops
+		out.FlagProps += s.FlagProps
+		out.CandMoves += s.CandMoves
+		out.CandidatesCreated += s.CandidatesCreated
+		out.CandidatesEmitted += s.CandidatesEmitted
+		out.CandidatesDropped += s.CandidatesDropped
+		out.PrunedPushes += s.PrunedPushes
+		out.PeakStackEntries += s.PeakStackEntries
+		if s.PeakLiveCandidates > out.PeakLiveCandidates {
+			out.PeakLiveCandidates = s.PeakLiveCandidates
+		}
+		out.PeakBufferedBytes += s.PeakBufferedBytes
+	}
+	return out
+}
+
+// Evaluate runs the query over a whole document and returns all solutions
+// in document order.
+func (q *Query) Evaluate(r io.Reader, opts Options) ([]Result, error) {
+	opts.Ordered = true
+	var out []Result
+	_, err := q.Stream(r, opts, func(res Result) error {
+		out = append(out, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvaluateString evaluates over an in-memory document and returns the
+// solution values in document order — the one-liner API.
+func (q *Query) EvaluateString(doc string) ([]string, error) {
+	results, err := q.Evaluate(strings.NewReader(doc), Options{})
+	if err != nil {
+		return nil, err
+	}
+	values := make([]string, len(results))
+	for i, res := range results {
+		values[i] = res.Value
+	}
+	return values, nil
+}
+
+// Count streams the document counting solutions without serializing them.
+func (q *Query) Count(r io.Reader) (int64, error) {
+	n := int64(0)
+	_, err := q.Stream(r, Options{CountOnly: true}, func(Result) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+func (q *Query) driver(r io.Reader, opts Options) sax.Driver {
+	if opts.UseStdParser {
+		return sax.NewStdDriver(r)
+	}
+	return newScanner(r)
+}
+
+// newScanner isolates the front-end constructor for the facade and
+// QuerySet.
+func newScanner(r io.Reader) sax.Driver { return xmlscan.NewScanner(r) }
