@@ -313,6 +313,110 @@ func BenchmarkQuerySetSharedScan(b *testing.B) {
 	})
 }
 
+// BenchmarkQuerySetSparse contrasts the engine's routed dispatch against the
+// seed's broadcast fan-out on 100 standing queries of which ~90 match
+// nothing in the document. The broadcast arm reproduces the pre-engine
+// QuerySet path exactly: one machine per query, every event delivered to
+// every machine through sax.Fanout, a fresh non-interning scanner per
+// document.
+func BenchmarkQuerySetSparse(b *testing.B) {
+	doc := datagen.Ticker{Trades: 2000, Seed: 1}.String()
+	sources := datagen.SparseTickerQueries(10, 90)
+	b.Run("routed", func(b *testing.B) {
+		qs, err := NewQuerySet(sources...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := qs.Counts(strings.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("broadcast", func(b *testing.B) {
+		progs := make([]*twigm.Program, len(sources))
+		for i, src := range sources {
+			progs[i] = twigm.MustCompile(src)
+		}
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			handlers := make(sax.Fanout, len(progs))
+			for j, p := range progs {
+				handlers[j] = p.Start(twigm.Options{CountOnly: true})
+			}
+			if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(handlers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuerySetRepeatedStream measures steady-state allocation of a
+// long-lived QuerySet serving a stream of documents (the subscription
+// scenario). The reused arm exercises the engine's pooled sessions — reset
+// machines, warm stacks, reusable scanner; the perDocument arm rebuilds
+// evaluation state for every document the way the seed did.
+func BenchmarkQuerySetRepeatedStream(b *testing.B) {
+	doc := datagen.Ticker{Trades: 500, Seed: 1}.String()
+	sources := []string{
+		"//trade[symbol='ACME']/price",
+		"//trade[symbol='GLOBEX']/price",
+		"//trade[price>150]/@seq",
+		"//trade/volume",
+		"//trade/price | //trade/volume",
+	}
+	b.Run("reused", func(b *testing.B) {
+		qs, err := NewQuerySet(sources...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the session pool so the steady state is measured.
+		if _, err := qs.Counts(strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qs.Counts(strings.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("perDocument", func(b *testing.B) {
+		queries := make([][]*twigm.Program, len(sources))
+		for i, src := range sources {
+			branches, err := xpath.ParseUnion(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, branch := range branches {
+				prog, err := twigm.Compile(branch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries[i] = append(queries[i], prog)
+			}
+		}
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var handlers sax.Fanout
+			for _, progs := range queries {
+				for _, p := range progs {
+					handlers = append(handlers, p.Start(twigm.Options{CountOnly: true}))
+				}
+			}
+			if err := xmlscan.NewScanner(strings.NewReader(doc)).Run(handlers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkDOMBaseline measures the non-streaming baseline (build the whole
 // tree, then evaluate) for the motivation's contrast: correct but
 // memory-proportional-to-document.

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	vitex "repro"
+	"repro/internal/datagen"
+)
+
+// BenchRecord is one machine-readable benchmark result. The files seed the
+// repository's performance trajectory: later engine work reruns the same
+// workloads and compares against the committed numbers.
+type BenchRecord struct {
+	Name         string  `json:"name"`
+	Queries      int     `json:"queries"`
+	CorpusBytes  int     `json:"corpus_bytes"`
+	Events       int64   `json:"events"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	PeakStack    int     `json:"peak_stack_entries"`
+	Results      int64   `json:"results_per_op"`
+}
+
+// benchWorkloads runs the engine benchmark suite — one single-query stream
+// plus routed QuerySet evaluations at 1, 10 and 100 standing queries over a
+// ticker feed (the paper's subscription scenario) — and writes one
+// BENCH_<name>.json per workload into dir.
+func benchWorkloads(dir string, trades int, out io.Writer) error {
+	doc := datagen.Ticker{Trades: trades, Seed: 1}.String()
+
+	single := vitex.MustCompile("//trade[symbol='ACME']/price")
+	sparse := datagen.SparseTickerQueries(10, 90)
+
+	type workload struct {
+		name    string
+		queries int
+		run     func() (events int64, peak int, results int64, err error)
+	}
+	mkSet := func(sources []string) (*vitex.QuerySet, error) {
+		return vitex.NewQuerySet(sources...)
+	}
+	setRunner := func(qs *vitex.QuerySet) func() (int64, int, int64, error) {
+		return func() (int64, int, int64, error) {
+			var results int64
+			stats, err := qs.Stream(strings.NewReader(doc), vitex.Options{CountOnly: true},
+				func(vitex.SetResult) error { results++; return nil })
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			peak := 0
+			for _, s := range stats {
+				peak += s.PeakStackEntries
+			}
+			return stats[0].Events, peak, results, nil
+		}
+	}
+
+	qs1, err := mkSet(sparse[:1])
+	if err != nil {
+		return err
+	}
+	qs10, err := mkSet(sparse[:10])
+	if err != nil {
+		return err
+	}
+	qs100, err := mkSet(sparse)
+	if err != nil {
+		return err
+	}
+	workloads := []workload{
+		{"single_query", 1, func() (int64, int, int64, error) {
+			var results int64
+			stats, err := single.Stream(strings.NewReader(doc), vitex.Options{CountOnly: true},
+				func(vitex.Result) error { results++; return nil })
+			return stats.Events, stats.PeakStackEntries, results, err
+		}},
+		{"queryset_1", 1, setRunner(qs1)},
+		{"queryset_10", 10, setRunner(qs10)},
+		{"queryset_100", 100, setRunner(qs100)},
+	}
+
+	for _, w := range workloads {
+		rec, err := measure(w.name, w.queries, len(doc), w.run)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.name, err)
+		}
+		path := filepath.Join(dir, "BENCH_"+w.name+".json")
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-14s %8.1f ns/event %12.0f events/s %8.1f allocs/op  -> %s\n",
+			w.name, rec.NsPerEvent, rec.EventsPerSec, rec.AllocsPerOp, path)
+	}
+	return nil
+}
+
+// measure times fn until at least minBenchTime has elapsed (after one
+// warm-up run), tracking allocations with runtime.MemStats.
+func measure(name string, queries, corpusBytes int, fn func() (int64, int, int64, error)) (*BenchRecord, error) {
+	const minBenchTime = 500 * time.Millisecond
+	events, peak, results, err := fn() // warm-up; also yields workload facts
+	if err != nil {
+		return nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minBenchTime {
+		if _, _, _, err := fn(); err != nil {
+			return nil, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	return &BenchRecord{
+		Name:         name,
+		Queries:      queries,
+		CorpusBytes:  corpusBytes,
+		Events:       events,
+		Iterations:   iters,
+		NsPerOp:      nsPerOp,
+		NsPerEvent:   nsPerOp / float64(events),
+		EventsPerSec: float64(events) / (nsPerOp / 1e9),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		PeakStack:    peak,
+		Results:      results,
+	}, nil
+}

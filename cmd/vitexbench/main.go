@@ -4,9 +4,16 @@
 // takes a few seconds per experiment plus one-time corpus generation; use
 // -mb to scale down.
 //
+// It also maintains the repository's machine-readable performance trajectory:
+// `vitexbench -exp bench` runs the engine workloads (single query, and routed
+// QuerySet evaluation at 1/10/100 standing queries) and writes one
+// BENCH_<workload>.json per workload — events/sec, ns/event, allocs/op, peak
+// stack entries — so later engine changes can diff against committed numbers.
+//
 // Usage:
 //
-//	vitexbench [-exp e1,e2,...|all] [-mb 75] [-seed 1] [-dir cache-dir]
+//	vitexbench [-exp e1,e2,...,bench|all] [-mb 75] [-seed 1] [-dir cache-dir]
+//	           [-benchdir .] [-trades 20000]
 package main
 
 import (
@@ -28,10 +35,12 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("vitexbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "comma-separated experiments (e1..e8) or 'all'")
+	exp := fs.String("exp", "all", "comma-separated experiments (e1..e9, bench) or 'all'")
 	mb := fs.Int("mb", 75, "protein corpus size in MiB (paper: 75)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	dir := fs.String("dir", "", "corpus cache directory (default: OS temp dir)")
+	benchDir := fs.String("benchdir", ".", "directory for BENCH_*.json files (-exp bench)")
+	trades := fs.Int("trades", 20000, "ticker feed size for -exp bench")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +142,11 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("E9: %w", err)
 		}
 		section(res.Table)
+	}
+	if want["bench"] {
+		if err := benchWorkloads(*benchDir, *trades, stdout); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
 	}
 	return nil
 }

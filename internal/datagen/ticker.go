@@ -24,6 +24,24 @@ type Ticker struct {
 // DefaultSymbols is a small symbol universe.
 var DefaultSymbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA", "STARK", "WAYNE"}
 
+// SparseTickerQueries builds the standing-subscription workload used by the
+// routed-dispatch benchmarks and the perf-trajectory tool: `matching`
+// queries over the ticker vocabulary followed by `dead` queries over names
+// that never occur in any ticker feed. One definition keeps the committed
+// BENCH_*.json numbers and BenchmarkQuerySetSparse measuring the same
+// workload.
+func SparseTickerQueries(matching, dead int) []string {
+	sources := make([]string, 0, matching+dead)
+	for i := 0; i < matching; i++ {
+		sym := DefaultSymbols[i%len(DefaultSymbols)]
+		sources = append(sources, fmt.Sprintf("//trade[symbol='%s']/price", sym))
+	}
+	for i := 0; i < dead; i++ {
+		sources = append(sources, fmt.Sprintf("//catalog%d[entry%d]//leaf%d", i, i, i))
+	}
+	return sources
+}
+
 // String renders the whole stream as one document.
 func (tk Ticker) String() string {
 	symbols := tk.Symbols

@@ -1,0 +1,393 @@
+// Package engine is the shared-dispatch query engine of the reproduction:
+// it evaluates any number of TwigM machines over one sequential scan of an
+// XML stream, routing each event only to the machines that can react to it.
+//
+// The paper's motivating scenario (ICDE 2005 §1: stock tickers, personalized
+// newspapers) is many standing queries over one feed. Sharing the scan makes
+// parsing cost constant in the number of queries, but a broadcast fan-out
+// still makes per-event machine work O(#queries). The engine removes that
+// factor the same way NFA-based multi-query filters index their
+// subscriptions: all queries are compiled against one symbol table
+// (sax.Symbols), the scanner stamps every event with the name's integer ID,
+// and a NameID-indexed routing table maps each event to the machines whose
+// element or attribute tests mention that name. A 100-query set where an
+// event concerns 2 queries touches 2 machines.
+//
+// Routing is sound because a TwigM machine is a no-op on events it has no
+// subscription for:
+//
+//   - StartElement can only push on a name match (or wildcard), and can only
+//     feed attribute nodes on an attribute-name match — so the static
+//     subscriptions are element names, attribute names and wildcards.
+//   - EndElement only pops entries, so it matters only to machines with live
+//     entries.
+//   - Text only matters to machines with a live text()-parent or
+//     string-value entry (or an absolute text() node).
+//   - A machine serializing a result fragment must see everything below the
+//     result element, whatever its names; such machines are temporarily
+//     promoted to a full feed.
+//
+// The dynamic conditions change only inside HandleEvent, so the engine
+// refreshes a machine's routing membership exactly when it delivers an event
+// to it.
+//
+// Evaluation state (machines, scanner, routing sets) lives in pooled
+// sessions: a long-lived Engine serving a stream of documents reuses all of
+// it, so steady-state evaluation is nearly allocation-free.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sax"
+	"repro/internal/twigm"
+	"repro/internal/xmlscan"
+	"repro/internal/xpath"
+)
+
+// Engine is an immutable set of compiled machines plus their routing index.
+// It is safe for concurrent use: every Stream call checks a private session
+// out of an internal pool.
+type Engine struct {
+	syms  *sax.Symbols
+	progs []*twigm.Program
+
+	elemSubs [][]int32 // NameID -> machines whose element tests use the name
+	attrSubs [][]int32 // NameID -> machines whose attribute tests use the name
+	wild     []int32   // machines with a '*' element node: every start event
+
+	pool sync.Pool // *session
+}
+
+// New compiles the parsed queries against one shared symbol table and builds
+// the routing index. Each query becomes one machine; callers model a union
+// query as one machine per branch.
+func New(queries ...*xpath.Query) (*Engine, error) {
+	e := &Engine{syms: sax.NewSymbols()}
+	e.progs = make([]*twigm.Program, len(queries))
+	for i, q := range queries {
+		p, err := twigm.CompileWith(q, e.syms)
+		if err != nil {
+			return nil, err
+		}
+		e.progs[i] = p
+	}
+	e.elemSubs = make([][]int32, e.syms.Len()+1)
+	e.attrSubs = make([][]int32, e.syms.Len()+1)
+	for i, p := range e.progs {
+		for _, id := range p.ElemNameIDs() {
+			e.elemSubs[id] = append(e.elemSubs[id], int32(i))
+		}
+		for _, id := range p.AttrNameIDs() {
+			e.attrSubs[id] = append(e.attrSubs[id], int32(i))
+		}
+		if p.HasWildcardElem() {
+			e.wild = append(e.wild, int32(i))
+		}
+	}
+	return e, nil
+}
+
+// Programs returns the compiled machines, in query order. The slice is
+// shared; callers must not modify it.
+func (e *Engine) Programs() []*twigm.Program { return e.progs }
+
+// Symbols returns the shared table all machines were compiled against.
+func (e *Engine) Symbols() *sax.Symbols { return e.syms }
+
+// Len returns the number of machines.
+func (e *Engine) Len() int { return len(e.progs) }
+
+// Stream evaluates every machine over one scan of r. opts[i] configures
+// machine i (emit callbacks and modes); len(opts) must equal Len(). The
+// returned per-machine statistics carry the shared scan's Events, Elements
+// and MaxDepth counters — under routed dispatch a machine does not see every
+// event, so per-machine counts of scan-level quantities would be
+// meaningless. ConfirmedAt/DeliveredAt of results are indexed against the
+// shared scan's event clock and match what a broadcast evaluation would
+// report.
+func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
+	if len(opts) != len(e.progs) {
+		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(e.progs))
+	}
+	s, _ := e.pool.Get().(*session)
+	if s == nil {
+		s = newSession(e)
+	}
+	defer e.pool.Put(s)
+	s.reset(opts)
+
+	var drv sax.Driver
+	if useStdParser {
+		drv = sax.NewStdDriverWith(r, e.syms)
+	} else {
+		s.scan.Reset(r)
+		drv = s.scan
+	}
+	err := drv.Run(s)
+	stats := make([]twigm.Stats, len(s.runs))
+	for i, run := range s.runs {
+		st := run.Stats()
+		st.Events = s.events
+		st.Elements = s.elements
+		st.MaxDepth = s.maxDepth
+		stats[i] = st
+	}
+	return stats, err
+}
+
+// session is one evaluation's worth of mutable state: the machines, the
+// reusable scanner, and the dynamic routing sets. Sessions are pooled and
+// fully reset between documents.
+type session struct {
+	eng  *Engine
+	runs []*twigm.Run
+	scan *xmlscan.Scanner
+
+	// Dynamic routing sets. endSet holds machines with live stack entries
+	// or an active recording (they need end-element events); textSet holds
+	// machines for which the next text event could matter; fullSet holds
+	// machines serializing a fragment (they need every event). fullSet is
+	// a subset of both others by construction of the membership tests.
+	endSet  denseSet
+	textSet denseSet
+	fullSet denseSet
+
+	// Per-event dedup of the start-element subscriber union.
+	stamps  []int64
+	stamp   int64
+	scratch []int32
+
+	// Shared-scan counters.
+	events   int64
+	elements int64
+	maxDepth int
+}
+
+func newSession(e *Engine) *session {
+	n := len(e.progs)
+	s := &session{
+		eng:    e,
+		runs:   make([]*twigm.Run, n),
+		scan:   xmlscan.NewScannerWith(nil, e.syms),
+		stamps: make([]int64, n),
+	}
+	for i, p := range e.progs {
+		s.runs[i] = p.Start(twigm.Options{})
+	}
+	s.endSet.init(n)
+	s.textSet.init(n)
+	s.fullSet.init(n)
+	return s
+}
+
+func (s *session) reset(opts []twigm.Options) {
+	for i, run := range s.runs {
+		run.Reset(opts[i])
+	}
+	s.endSet.clear()
+	s.textSet.clear()
+	s.fullSet.clear()
+	s.events = 0
+	s.elements = 0
+	s.maxDepth = 0
+	for i := range s.runs {
+		s.refresh(int32(i))
+	}
+}
+
+// refresh recomputes machine i's dynamic routing memberships. Called after
+// every delivery to i (the only points its state can change) and at reset.
+func (s *session) refresh(i int32) {
+	run := s.runs[i]
+	recording := run.Recording()
+	s.fullSet.set(i, recording)
+	s.endSet.set(i, recording || run.LiveEntries() > 0)
+	s.textSet.set(i, run.WantsText())
+}
+
+// deliver hands the event to machine i with the clock synced to the shared
+// scan, then refreshes i's routing memberships.
+func (s *session) deliver(i int32, ev *sax.Event) error {
+	run := s.runs[i]
+	run.SetClock(s.events - 1)
+	err := run.HandleEvent(ev)
+	s.refresh(i)
+	return err
+}
+
+// HandleEvent implements sax.Handler: it routes one scan event to the
+// machines subscribed to it.
+func (s *session) HandleEvent(ev *sax.Event) error {
+	s.events++
+	switch ev.Kind {
+	case sax.StartElement:
+		s.elements++
+		if ev.Depth > s.maxDepth {
+			s.maxDepth = ev.Depth
+		}
+		for _, i := range s.startSubscribers(ev) {
+			if err := s.deliver(i, ev); err != nil {
+				return err
+			}
+		}
+	case sax.EndElement:
+		// endSet contains every machine with something to pop or an
+		// open recording; iterate a snapshot since delivery mutates
+		// membership.
+		for _, i := range s.snapshot(&s.endSet) {
+			if err := s.deliver(i, ev); err != nil {
+				return err
+			}
+		}
+	case sax.Text:
+		for _, i := range s.snapshot(&s.textSet) {
+			if err := s.deliver(i, ev); err != nil {
+				return err
+			}
+		}
+	default: // StartDocument, EndDocument: broadcast (2 events per stream)
+		for i := range s.runs {
+			if err := s.deliver(int32(i), ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startSubscribers collects, deduplicates and orders the machines that must
+// see a start-element event: subscribers of the element name, wildcard
+// machines, subscribers of any attribute name present, and machines on the
+// full feed. Delivery is in machine order, matching what a broadcast fan-out
+// would do, so interleavings are reproducible.
+func (s *session) startSubscribers(ev *sax.Event) []int32 {
+	e := s.eng
+	s.stamp++
+	out := s.scratch[:0]
+	add := func(list []int32) {
+		for _, i := range list {
+			if s.stamps[i] != s.stamp {
+				s.stamps[i] = s.stamp
+				out = append(out, i)
+			}
+		}
+	}
+	broadcast := false
+	if id := ev.NameID; id == sax.SymNone {
+		// Producer without a symbol table: no routing information.
+		broadcast = true
+	} else if id > 0 && int(id) < len(e.elemSubs) {
+		add(e.elemSubs[id])
+	}
+	for ai := range ev.Attrs {
+		if id := ev.Attrs[ai].NameID; id == sax.SymNone {
+			broadcast = true
+		} else if id > 0 && int(id) < len(e.attrSubs) {
+			add(e.attrSubs[id])
+		}
+	}
+	if broadcast {
+		out = out[:0]
+		for i := range s.runs {
+			out = append(out, int32(i))
+		}
+		s.scratch = out
+		return out
+	}
+	add(e.wild)
+	add(s.fullSet.items)
+	// Insertion sort: subscriber counts per event are small by design.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	s.scratch = out
+	return out
+}
+
+// snapshot copies a dynamic set into the scratch buffer in machine order, so
+// deliveries can mutate the set while we iterate.
+func (s *session) snapshot(d *denseSet) []int32 {
+	out := append(s.scratch[:0], d.items...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	s.scratch = out
+	return out
+}
+
+// denseSet is a set of machine indexes with O(1) insert/remove and
+// allocation-free iteration: items is the members in arbitrary order, pos
+// maps a machine to its slot (-1 when absent).
+type denseSet struct {
+	items []int32
+	pos   []int32
+}
+
+func (d *denseSet) init(n int) {
+	d.items = make([]int32, 0, n)
+	d.pos = make([]int32, n)
+	for i := range d.pos {
+		d.pos[i] = -1
+	}
+}
+
+func (d *denseSet) clear() {
+	for _, i := range d.items {
+		d.pos[i] = -1
+	}
+	d.items = d.items[:0]
+}
+
+func (d *denseSet) set(i int32, in bool) {
+	p := d.pos[i]
+	if in == (p >= 0) {
+		return
+	}
+	if in {
+		d.pos[i] = int32(len(d.items))
+		d.items = append(d.items, i)
+		return
+	}
+	last := d.items[len(d.items)-1]
+	d.items[p] = last
+	d.pos[last] = p
+	d.items = d.items[:len(d.items)-1]
+	d.pos[i] = -1
+}
+
+// MergeStats aggregates per-machine statistics of one shared scan into one
+// Stats value (for union queries evaluated as several machines): counters
+// sum, per-machine peaks add (they are simultaneous), live-candidate peaks
+// take the maximum, and scan-level counters (Events, Elements, MaxDepth)
+// pass through from the shared scan.
+func MergeStats(stats []twigm.Stats) twigm.Stats {
+	var out twigm.Stats
+	for i, s := range stats {
+		if i == 0 {
+			out.Events = s.Events
+			out.Elements = s.Elements
+			out.MaxDepth = s.MaxDepth
+		}
+		out.Pushes += s.Pushes
+		out.Pops += s.Pops
+		out.FlagProps += s.FlagProps
+		out.CandMoves += s.CandMoves
+		out.CandidatesCreated += s.CandidatesCreated
+		out.CandidatesEmitted += s.CandidatesEmitted
+		out.CandidatesDropped += s.CandidatesDropped
+		out.PrunedPushes += s.PrunedPushes
+		out.PeakStackEntries += s.PeakStackEntries
+		if s.PeakLiveCandidates > out.PeakLiveCandidates {
+			out.PeakLiveCandidates = s.PeakLiveCandidates
+		}
+		out.PeakBufferedBytes += s.PeakBufferedBytes
+	}
+	return out
+}

@@ -58,6 +58,10 @@ func (k Kind) String() string {
 type Attr struct {
 	Name  string
 	Value string
+	// NameID is the Symbols ID of Name when the producer interns against a
+	// table (SymNone when it does not, SymUnknown when the name is not in
+	// the table). See Event.NameID.
+	NameID int32
 }
 
 // Event is one unit of the stream. The same Event value is reused by
@@ -72,6 +76,13 @@ type Event struct {
 	// prefixes are preserved verbatim (ViteX predates namespace-aware
 	// matching; queries match the lexical QName).
 	Name string
+	// NameID is the Symbols ID of Name for StartElement/EndElement when the
+	// producer was constructed with a Symbols table: a positive ID for
+	// interned names, SymUnknown for names absent from the table, SymNone
+	// (the zero value) when the producer does not intern at all. Consumers
+	// compiled against the same table may dispatch on it directly; they
+	// must fall back to Name for SymNone.
+	NameID int32
 	// Depth is the element depth for StartElement/EndElement (root = 1)
 	// and the text-node depth (parent depth + 1) for Text.
 	Depth int

@@ -91,13 +91,13 @@ func TestStdDriverAttrs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(attrs) != 2 || attrs[0] != (Attr{"x", "1"}) || attrs[1] != (Attr{"y", "2&3"}) {
+	if len(attrs) != 2 || attrs[0] != (Attr{Name: "x", Value: "1"}) || attrs[1] != (Attr{Name: "y", Value: "2&3"}) {
 		t.Fatalf("attrs = %v", attrs)
 	}
 }
 
 func TestGetAttr(t *testing.T) {
-	attrs := []Attr{{"a", "1"}, {"b", "2"}}
+	attrs := []Attr{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}}
 	if v, ok := GetAttr(attrs, "b"); !ok || v != "2" {
 		t.Fatalf("GetAttr(b) = %q, %v", v, ok)
 	}

@@ -12,11 +12,34 @@ import (
 // tests, and benchmarks compare their throughput (the parse-time share of
 // experiment E1 depends on which front-end is used).
 type StdDriver struct {
-	r io.Reader
+	r        io.Reader
+	syms     *Symbols
+	interned map[string]int32
 }
 
 // NewStdDriver returns a Driver backed by encoding/xml.
 func NewStdDriver(r io.Reader) *StdDriver { return &StdDriver{r: r} }
+
+// NewStdDriverWith returns a Driver backed by encoding/xml that resolves
+// element and attribute names against syms, so events carry the same NameIDs
+// the custom scanner would produce (keeps the UseStdParser ablation on the
+// same dispatch path).
+func NewStdDriverWith(r io.Reader, syms *Symbols) *StdDriver {
+	return &StdDriver{r: r, syms: syms, interned: make(map[string]int32)}
+}
+
+// nameID resolves a name through the per-driver cache.
+func (d *StdDriver) nameID(name string) int32 {
+	if d.syms == nil {
+		return SymNone
+	}
+	if id, ok := d.interned[name]; ok {
+		return id
+	}
+	id := d.syms.ID(name)
+	d.interned[name] = id
+	return id
+}
 
 // Run implements Driver. Adjacent CharData tokens (encoding/xml splits
 // around CDATA boundaries and entity expansions in some cases) are coalesced
@@ -74,19 +97,22 @@ func (d *StdDriver) Run(h Handler) error {
 			depth++
 			attrs := make([]Attr, 0, len(t.Attr))
 			for _, a := range t.Attr {
-				attrs = append(attrs, Attr{Name: qname(a.Name), Value: a.Value})
+				an := qname(a.Name)
+				attrs = append(attrs, Attr{Name: an, Value: a.Value, NameID: d.nameID(an)})
 			}
 			if len(attrs) == 0 {
 				attrs = nil
 			}
-			if err := emit(Event{Kind: StartElement, Name: qname(t.Name), Depth: depth, Attrs: attrs, Offset: off}); err != nil {
+			name := qname(t.Name)
+			if err := emit(Event{Kind: StartElement, Name: name, NameID: d.nameID(name), Depth: depth, Attrs: attrs, Offset: off}); err != nil {
 				return err
 			}
 		case xml.EndElement:
 			if err := flushText(); err != nil {
 				return err
 			}
-			if err := emit(Event{Kind: EndElement, Name: qname(t.Name), Depth: depth, Offset: off}); err != nil {
+			name := qname(t.Name)
+			if err := emit(Event{Kind: EndElement, Name: name, NameID: d.nameID(name), Depth: depth, Offset: off}); err != nil {
 				return err
 			}
 			depth--

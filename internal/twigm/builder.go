@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/sax"
 	"repro/internal/xpath"
 )
 
@@ -33,7 +34,16 @@ type Program struct {
 	root  *node
 	nodes []*node // all nodes, ids dense, topological (parent before child)
 
-	// Event-dispatch indexes.
+	// syms is the symbol table the program's names were interned into.
+	// Events produced against the same table dispatch through the ID
+	// slices below (one bounds check + slice index on the hot path);
+	// events without IDs fall back to the name maps.
+	syms     *sax.Symbols
+	elemByID [][]*node // element nodes by NameID (no wildcards)
+	attrByID [][]*node // attribute nodes by NameID
+
+	// Event-dispatch indexes (string fallback for producers that do not
+	// intern, e.g. hand-built events).
 	elemIndex map[string][]*node // element nodes by name (no wildcards)
 	wildElems []*node            // element nodes with name "*"
 	attrIndex map[string][]*node // attribute nodes by name
@@ -48,6 +58,7 @@ type node struct {
 	id       int
 	kind     xpath.Kind
 	name     string
+	nameID   int32 // symbol ID of name (elements/attributes; 0 for "*")
 	axis     xpath.Axis
 	parent   *node
 	childIdx int // flag bit position in parent entries
@@ -98,11 +109,25 @@ type CompileError struct{ Msg string }
 
 func (e *CompileError) Error() string { return "twigm: " + e.Msg }
 
-// Compile builds a TwigM machine from a parsed query. Build time is linear
-// in the query size (paper §2, claim 2; benchmarked by E7).
+// Compile builds a TwigM machine from a parsed query with a private symbol
+// table. Build time is linear in the query size (paper §2, claim 2;
+// benchmarked by E7).
 func Compile(q *xpath.Query) (*Program, error) {
+	return CompileWith(q, sax.NewSymbols())
+}
+
+// CompileWith builds a TwigM machine whose names are interned into the
+// shared table syms, so several programs can dispatch events from one
+// symbol-aware scanner. Pass the same table to the scanner (or to
+// engine-level routing) that feeds the machine; a nil syms gets a private
+// table.
+func CompileWith(q *xpath.Query, syms *sax.Symbols) (*Program, error) {
+	if syms == nil {
+		syms = sax.NewSymbols()
+	}
 	p := &Program{
 		query:     q,
+		syms:      syms,
 		elemIndex: make(map[string][]*node),
 		attrIndex: make(map[string][]*node),
 	}
@@ -111,8 +136,23 @@ func Compile(q *xpath.Query) (*Program, error) {
 		return nil, err
 	}
 	p.root = root
+
+	// Freeze the ID-keyed dispatch views. The table may keep growing as
+	// later programs intern their names; IDs past the end of these slices
+	// simply belong to no node of this program.
+	p.elemByID = make([][]*node, syms.Len()+1)
+	for name, nodes := range p.elemIndex {
+		p.elemByID[syms.Intern(name)] = nodes
+	}
+	p.attrByID = make([][]*node, syms.Len()+1)
+	for name, nodes := range p.attrIndex {
+		p.attrByID[syms.Intern(name)] = nodes
+	}
 	return p, nil
 }
+
+// Symbols returns the table the program's names are interned in.
+func (p *Program) Symbols() *sax.Symbols { return p.syms }
 
 // MustCompile compiles a query string, panicking on error (tests/examples).
 func MustCompile(query string) *Program {
@@ -145,9 +185,11 @@ func (p *Program) build(qn *xpath.Node, parent *node) (*node, error) {
 		if qn.Name == "*" {
 			p.wildElems = append(p.wildElems, m)
 		} else {
+			m.nameID = p.syms.Intern(qn.Name)
 			p.elemIndex[qn.Name] = append(p.elemIndex[qn.Name], m)
 		}
 	case xpath.Attribute:
+		m.nameID = p.syms.Intern(qn.Name)
 		p.attrIndex[qn.Name] = append(p.attrIndex[qn.Name], m)
 	case xpath.Text:
 		p.textNodes = append(p.textNodes, m)
@@ -285,10 +327,12 @@ func hasFinalLeaf(c *cond) bool {
 	return false
 }
 
-// eval evaluates the condition against an entry's flag bits. Unknown leaves
+// eval evaluates the condition against an entry's state. Unknown leaves
 // (condSelf before finalization) count as false; because the expression is
-// monotone (no negation in the fragment) a true result is final.
-func (c *cond) eval(flags uint64, selfValue func() string, final bool) bool {
+// monotone (no negation in the fragment) a true result is final. The entry
+// is passed directly (instead of a string-value closure) to keep the hot
+// path allocation-free.
+func (c *cond) eval(flags uint64, e *entry, final bool) bool {
 	switch c.op {
 	case condTrue:
 		return true
@@ -298,17 +342,17 @@ func (c *cond) eval(flags uint64, selfValue func() string, final bool) bool {
 		if !final {
 			return false
 		}
-		return c.cmp.Eval(selfValue())
+		return c.cmp.Eval(e.textValue())
 	case condAnd:
 		for _, k := range c.kids {
-			if !k.eval(flags, selfValue, final) {
+			if !k.eval(flags, e, final) {
 				return false
 			}
 		}
 		return true
 	default: // condOr
 		for _, k := range c.kids {
-			if k.eval(flags, selfValue, final) {
+			if k.eval(flags, e, final) {
 				return true
 			}
 		}
@@ -352,6 +396,43 @@ func (c *cond) optimistic(flags uint64) bool {
 
 // Query returns the query this program was compiled from.
 func (p *Program) Query() *xpath.Query { return p.query }
+
+// ---- routing metadata (consumed by internal/engine) ----
+
+// ElemNameIDs returns the symbol IDs of the element names this machine can
+// push on — the static element-name subscriptions of routed dispatch.
+func (p *Program) ElemNameIDs() []int32 {
+	ids := make([]int32, 0, len(p.elemByID))
+	for id, nodes := range p.elemByID {
+		if len(nodes) > 0 {
+			ids = append(ids, int32(id))
+		}
+	}
+	return ids
+}
+
+// AttrNameIDs returns the symbol IDs of the attribute names this machine
+// matches: a start-element event carrying one of them is relevant even when
+// the element name is not.
+func (p *Program) AttrNameIDs() []int32 {
+	ids := make([]int32, 0, len(p.attrByID))
+	for id, nodes := range p.attrByID {
+		if len(nodes) > 0 {
+			ids = append(ids, int32(id))
+		}
+	}
+	return ids
+}
+
+// HasWildcardElem reports whether the machine has a '*' element node and
+// therefore must see every start-element event.
+func (p *Program) HasWildcardElem() bool { return len(p.wildElems) > 0 }
+
+// HasTextInterest reports whether any event routing of text is ever needed:
+// the machine has text() nodes or accumulates string-values.
+func (p *Program) HasTextInterest() bool {
+	return len(p.textNodes) > 0 || len(p.valueNodes) > 0
+}
 
 // NumNodes returns the number of machine nodes (equals the query size; the
 // builder is linear, paper claim 2).

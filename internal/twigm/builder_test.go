@@ -84,7 +84,7 @@ func TestCondEvalAndOr(t *testing.T) {
 	// //a[(x or y) and z]: flag bits x=0, y=1, z=2.
 	p := compile(t, "//a[(x or y) and z]")
 	c := p.root.cond
-	noText := func() string { return "" }
+	noText := &entry{}
 	cases := []struct {
 		flags uint64
 		want  bool
@@ -107,14 +107,14 @@ func TestCondEvalAndOr(t *testing.T) {
 func TestCondSelfDeferred(t *testing.T) {
 	p := compile(t, "//a[.='v']")
 	c := p.root.cond
-	val := func() string { return "v" }
+	val := &entry{textBuf: []byte("v")}
 	if c.eval(0, val, false) {
 		t.Fatal("self comparison must be unknown before finalization")
 	}
 	if !c.eval(0, val, true) {
 		t.Fatal("self comparison must hold at pop")
 	}
-	bad := func() string { return "w" }
+	bad := &entry{textBuf: []byte("w")}
 	if c.eval(0, bad, true) {
 		t.Fatal("self comparison must fail on mismatch")
 	}

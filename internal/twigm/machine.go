@@ -3,7 +3,6 @@ package twigm
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/sax"
 	"repro/internal/xpath"
@@ -101,6 +100,8 @@ const (
 // decided (§1: "we need to record them"). One candidate exists per result
 // node regardless of how many pattern matches involve it; entries hold
 // references, and the confirmed latch makes emission exactly-once.
+// Candidates are allocated from the Run's block arena and reclaimed
+// wholesale by Reset — by end of document every candidate has resolved.
 type candidate struct {
 	seq         int64
 	offset      int64 // document-order node identity (Result.NodeOffset)
@@ -114,17 +115,24 @@ type candidate struct {
 
 // entry is one stack entry: an open XML element that path-matches the
 // machine node, with the paper's triplet (level, match-status bitset,
-// candidate solutions).
+// candidate solutions). Popped entries keep their slice capacity inside the
+// stack's backing array, so steady-state pushes allocate nothing.
 type entry struct {
 	level     int
 	flags     uint64
 	satisfied bool
 	cands     []*candidate
-	text      *strings.Builder // string-value accumulator (valueNodes only)
+	textBuf   []byte // string-value accumulator (valueNodes only)
 }
 
+// candBlockSize is the arena granularity for candidate allocation. Blocks
+// are retained across Reset, so a long-lived Run reaches a steady state
+// where no candidate allocation happens at all.
+const candBlockSize = 64
+
 // Run is a TwigM machine instance processing one XML stream. It implements
-// sax.Handler. Create with Program.Start.
+// sax.Handler. Create with Program.Start; Reset prepares the same Run (with
+// all of its warmed-up stacks, arenas and buffers) for another stream.
 type Run struct {
 	prog *Program
 	opts Options
@@ -137,6 +145,11 @@ type Run struct {
 	liveEntries int
 	liveCands   int
 
+	// candidate arena: blocks[blockIdx][blockUsed] is the next free slot.
+	candBlocks [][]candidate
+	blockIdx   int
+	blockUsed  int
+
 	rec     recorder
 	ordered orderedBuf
 	trace   *tracer
@@ -146,13 +159,41 @@ type Run struct {
 
 // Start instantiates the machine for a new stream.
 func (p *Program) Start(opts Options) *Run {
-	r := &Run{prog: p, opts: opts}
+	r := &Run{prog: p}
 	r.stacks = make([][]entry, len(p.nodes))
+	r.applyOptions(opts)
+	return r
+}
+
+// Reset prepares the Run for another stream with fresh options, keeping
+// every warmed-up allocation: stack backing arrays, per-entry candidate and
+// string-value buffers, the candidate arena, the recorder buffer and the
+// ordered-delivery window.
+func (r *Run) Reset(opts Options) {
+	for i := range r.stacks {
+		r.stacks[i] = r.stacks[i][:0]
+	}
+	r.nextSeq = 0
+	r.count = 0
+	r.stats = Stats{}
+	r.liveEntries = 0
+	r.liveCands = 0
+	r.blockIdx = 0
+	r.blockUsed = 0
+	r.rec.reset()
+	r.ordered.reset()
+	r.done = false
+	r.failed = nil
+	r.applyOptions(opts)
+}
+
+func (r *Run) applyOptions(opts Options) {
+	r.opts = opts
 	r.rec.countOnly = opts.CountOnly
+	r.trace = nil
 	if opts.Trace != nil {
 		r.trace = &tracer{w: opts.Trace}
 	}
-	return r
 }
 
 // Count returns the number of solutions delivered so far.
@@ -160,6 +201,49 @@ func (r *Run) Count() int64 { return r.count }
 
 // Stats returns a snapshot of the run's counters.
 func (r *Run) Stats() Stats { return r.stats }
+
+// ---- routing hooks (consumed by internal/engine) ----
+
+// SetClock overrides the run's event counter. Routed dispatch skips events
+// a machine is not subscribed to; syncing the clock to the shared scan's
+// event index before each delivery keeps ConfirmedAt/DeliveredAt identical
+// to a run that saw every event.
+func (r *Run) SetClock(events int64) { r.stats.Events = events }
+
+// LiveEntries reports the number of open stack entries. A machine with none
+// (and no active recording) has nothing to pop, so end-element events need
+// not be routed to it.
+func (r *Run) LiveEntries() int { return r.liveEntries }
+
+// Recording reports whether a result fragment is being serialized, in which
+// case the machine must see every event regardless of name subscriptions —
+// fragments contain arbitrary descendant markup.
+func (r *Run) Recording() bool { return len(r.rec.active) > 0 }
+
+// WantsText reports whether the next text event could matter to this
+// machine: a fragment is recording, a string-value accumulator is open, or
+// a text() node's parent (or the document root, for absolute text queries)
+// has a live entry. It only changes state inside HandleEvent, so a router
+// may cache it between deliveries.
+func (r *Run) WantsText() bool {
+	if len(r.rec.active) > 0 {
+		return true
+	}
+	for _, m := range r.prog.valueNodes {
+		if len(r.stacks[m.id]) > 0 {
+			return true
+		}
+	}
+	for _, m := range r.prog.textNodes {
+		if m.parent == nil {
+			return true
+		}
+		if len(r.stacks[m.parent.id]) > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // HandleEvent implements sax.Handler.
 func (r *Run) HandleEvent(ev *sax.Event) error {
@@ -188,6 +272,39 @@ func (r *Run) fail(err error) {
 	}
 }
 
+// ---- event dispatch ----
+
+// elemNodes resolves the element machine nodes matching the event's name:
+// a slice index when the event carries a symbol ID, the name map otherwise.
+func (r *Run) elemNodes(ev *sax.Event) []*node {
+	if id := ev.NameID; id != sax.SymNone {
+		if id > 0 && int(id) < len(r.prog.elemByID) {
+			return r.prog.elemByID[id]
+		}
+		return nil
+	}
+	return r.prog.elemIndex[ev.Name]
+}
+
+// attrNodes resolves the attribute machine nodes matching an attribute.
+func (r *Run) attrNodes(a *sax.Attr) []*node {
+	if id := a.NameID; id != sax.SymNone {
+		if id > 0 && int(id) < len(r.prog.attrByID) {
+			return r.prog.attrByID[id]
+		}
+		return nil
+	}
+	return r.prog.attrIndex[a.Name]
+}
+
+// attrMatches reports whether attribute a is the one machine node m names.
+func attrMatches(a *sax.Attr, m *node) bool {
+	if a.NameID != sax.SymNone && m.nameID != sax.SymNone {
+		return a.NameID == m.nameID
+	}
+	return a.Name == m.name
+}
+
 // ---- event processing ----
 
 func (r *Run) startElement(ev *sax.Event) {
@@ -195,9 +312,10 @@ func (r *Run) startElement(ev *sax.Event) {
 	if ev.Depth > r.stats.MaxDepth {
 		r.stats.MaxDepth = ev.Depth
 	}
+	named := r.elemNodes(ev)
 	// Phase 1: push entries, parents never depend on same-event pushes
 	// (axis checks use strict level inequalities), so list order is fine.
-	for _, m := range r.prog.elemIndex[ev.Name] {
+	for _, m := range named {
 		r.tryPush(m, ev)
 	}
 	for _, m := range r.prog.wildElems {
@@ -207,16 +325,16 @@ func (r *Run) startElement(ev *sax.Event) {
 	// satisfy attribute query nodes whose parent has a compatible entry
 	// — including the entries just pushed (child axis: the owner
 	// element itself; descendant axis: self-or-ancestor owners).
-	for ai, a := range ev.Attrs {
-		nodes := r.prog.attrIndex[a.Name]
-		for _, m := range nodes {
+	for ai := range ev.Attrs {
+		a := &ev.Attrs[ai]
+		for _, m := range r.attrNodes(a) {
 			r.attrEvent(m, a.Value, ai, ev)
 		}
 	}
 	// Phase 3: initial satisfaction checks for entries pushed this event
 	// (their flags may already be complete: leaf nodes, attribute-only
 	// predicates).
-	for _, m := range r.prog.elemIndex[ev.Name] {
+	for _, m := range named {
 		r.checkTop(m, ev.Depth)
 	}
 	for _, m := range r.prog.wildElems {
@@ -257,11 +375,21 @@ func (r *Run) tryPush(m *node, ev *sax.Event) {
 			return
 		}
 	}
-	e := entry{level: d}
-	if m.needsText {
-		e.text = &strings.Builder{}
+	s := r.stacks[m.id]
+	if len(s) < cap(s) {
+		// Reuse the popped slot in place, keeping its cands and textBuf
+		// backing arrays.
+		s = s[:len(s)+1]
+		e := &s[len(s)-1]
+		e.level = d
+		e.flags = 0
+		e.satisfied = false
+		e.cands = e.cands[:0]
+		e.textBuf = e.textBuf[:0]
+	} else {
+		s = append(s, entry{level: d})
 	}
-	r.stacks[m.id] = append(r.stacks[m.id], e)
+	r.stacks[m.id] = s
 	r.stats.Pushes++
 	if r.trace.on() {
 		r.trace.push(m, d)
@@ -291,9 +419,13 @@ func (r *Run) attrFlagsAtPush(m *node, ev *sax.Event) uint64 {
 		if c.kind != xpath.Attribute || c.axis != xpath.Child {
 			continue
 		}
-		if v, ok := sax.GetAttr(ev.Attrs, c.name); ok {
-			if cmpOK(c, v) {
-				flags |= 1 << uint(c.childIdx)
+		for ai := range ev.Attrs {
+			a := &ev.Attrs[ai]
+			if attrMatches(a, c) {
+				if cmpOK(c, a.Value) {
+					flags |= 1 << uint(c.childIdx)
+				}
+				break
 			}
 		}
 	}
@@ -367,8 +499,9 @@ func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 func (r *Run) text(ev *sax.Event) {
 	r.rec.text(r, ev)
 	for _, m := range r.prog.valueNodes {
-		for i := range r.stacks[m.id] {
-			r.stacks[m.id][i].text.WriteString(ev.Text)
+		s := r.stacks[m.id]
+		for i := range s {
+			s[i].textBuf = append(s[i].textBuf, ev.Text...)
 		}
 	}
 	for _, m := range r.prog.textNodes {
@@ -420,7 +553,7 @@ func (r *Run) endElement(ev *sax.Event) {
 		if !e.satisfied {
 			// Finalize: self-comparisons now have the complete
 			// string-value.
-			if m.cond.eval(e.flags, e.textValue, true) {
+			if m.cond.eval(e.flags, e, true) {
 				r.onSatisfied(m, e)
 			}
 		}
@@ -454,10 +587,7 @@ func (r *Run) endDocument() {
 
 // textValue returns the accumulated string-value of an entry.
 func (e *entry) textValue() string {
-	if e.text == nil {
-		return ""
-	}
-	return e.text.String()
+	return string(e.textBuf)
 }
 
 // checkTop runs the initial satisfaction check on an entry pushed this
@@ -471,7 +601,7 @@ func (r *Run) checkTop(m *node, d int) {
 	if e.level != d || e.satisfied {
 		return
 	}
-	if m.cond.eval(e.flags, e.textValue, false) {
+	if m.cond.eval(e.flags, e, false) {
 		if r.opts.DisableEagerPropagation {
 			// Ablation mode: defer to pop time. Mark nothing; the
 			// pop-time final eval will satisfy the entry.
@@ -497,11 +627,13 @@ func (r *Run) onSatisfied(m *node, e *entry) {
 			r.confirm(c)
 			r.resolveIfDead(c)
 		}
-		e.cands = nil
+		e.cands = e.cands[:0]
 		return
 	}
 	cands := e.cands
-	e.cands = nil
+	e.cands = e.cands[:0]
+	// Once satisfied, deliverCand never parks on this entry again, so the
+	// truncated slice cannot grow under this iteration.
 	for _, c := range cands {
 		r.stats.CandMoves++
 		r.propagate(m, e.level, c)
@@ -571,7 +703,7 @@ func (r *Run) deliverFlag(parent *node, e *entry, idx int) {
 	if e.satisfied || r.opts.DisableEagerPropagation {
 		return
 	}
-	if parent.cond.eval(e.flags, e.textValue, false) {
+	if parent.cond.eval(e.flags, e, false) {
 		r.onSatisfied(parent, e)
 	}
 }
@@ -597,8 +729,20 @@ func (r *Run) deliverCand(parent *node, e *entry, c *candidate) {
 
 // ---- candidate lifecycle ----
 
+// newCandidate allocates a candidate from the Run's block arena. Blocks are
+// retained and reused across Reset (all candidates have resolved by end of
+// document, so wholesale reclamation is safe).
 func (r *Run) newCandidate(offset int64) *candidate {
-	c := &candidate{seq: r.nextSeq, offset: offset}
+	if r.blockIdx == len(r.candBlocks) {
+		r.candBlocks = append(r.candBlocks, make([]candidate, candBlockSize))
+	}
+	c := &r.candBlocks[r.blockIdx][r.blockUsed]
+	r.blockUsed++
+	if r.blockUsed == candBlockSize {
+		r.blockIdx++
+		r.blockUsed = 0
+	}
+	*c = candidate{seq: r.nextSeq, offset: offset}
 	r.nextSeq++
 	r.stats.CandidatesCreated++
 	if r.trace.on() {

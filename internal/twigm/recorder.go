@@ -32,6 +32,14 @@ type recorder struct {
 	pendingLevel int
 }
 
+// reset clears per-stream state, retaining the shared buffer's capacity.
+func (rc *recorder) reset() {
+	rc.active = rc.active[:0]
+	rc.buf = rc.buf[:0]
+	rc.pendingTag = false
+	rc.pendingLevel = 0
+}
+
 // register starts recording a fragment for an element output candidate;
 // its start-element event has not been serialized yet. In CountOnly mode
 // the candidate is left closed (no buffering) and delivers on confirmation.

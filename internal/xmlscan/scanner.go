@@ -25,8 +25,11 @@ import (
 	"repro/internal/sax"
 )
 
-// Scanner streams sax events from an io.Reader. Create with NewScanner; a
-// Scanner is single-use (one document) and not safe for concurrent use.
+// Scanner streams sax events from an io.Reader. Create with NewScanner (or
+// NewScannerWith to resolve names against a shared symbol table); a Scanner
+// handles one document at a time and is not safe for concurrent use, but can
+// be reused across documents with Reset, keeping its buffers and its name
+// intern cache warm.
 type Scanner struct {
 	r      io.Reader
 	buf    []byte
@@ -36,19 +39,42 @@ type Scanner struct {
 	err    error // sticky read error (io.EOF when input exhausted)
 	depth  int
 	stack  []string // open element names, for balance checking
-	text   strings.Builder
-	textAt int64 // offset of the first byte of the pending text run
+	text   []byte   // pending character-data run (reusable)
+	textAt int64    // offset of the first byte of the pending text run
+	valBuf []byte   // attribute-value scratch (reusable)
+	// textCache interns short, recurring character-data runs (indentation
+	// whitespace, enumerated values) so they cost no allocation after the
+	// first occurrence. Bounded: past maxTextCacheEntries new strings are
+	// no longer added (lookups still hit).
+	textCache map[string]string
 	// event is reused across emissions to avoid per-event allocation.
 	event sax.Event
 	attrs []sax.Attr
 	// seenRoot records that the root element has closed.
 	seenRoot bool
 	started  bool
+	// syms resolves names to shared symbol IDs (nil: events carry
+	// sax.SymNone). interned caches the resolution per distinct name for
+	// the scanner's lifetime (bounded by maxNameCacheEntries), so each
+	// name costs one string allocation and one table lookup per scanner —
+	// not per occurrence; nameBuf is the scratch the name bytes are
+	// collected into before the cache lookup.
+	syms     *sax.Symbols
+	interned map[string]symEntry
+	nameBuf  []byte
 	// entities holds general entities declared in the DOCTYPE internal
 	// subset (<!ENTITY name "value">). Values are raw replacement text;
 	// they are expanded recursively at reference sites with depth and
 	// size guards (see expandEntity).
 	entities map[string]string
+}
+
+// symEntry is one intern-cache slot: the canonical string for a name and its
+// symbol ID (sax.SymNone without a table, sax.SymUnknown for names the table
+// does not contain).
+type symEntry struct {
+	name string
+	id   int32
 }
 
 // Entity-expansion guards: nesting depth and total expanded size, the
@@ -58,13 +84,97 @@ const (
 	maxEntityExpand = 1 << 20
 )
 
+// Text-intern bounds: only short runs are worth caching, and the cache must
+// not grow without bound on high-cardinality data (e.g. distinct numbers).
+const (
+	maxTextInternLen    = 32
+	maxTextCacheEntries = 4096
+)
+
+// maxNameCacheEntries bounds the name intern cache the same way: a
+// long-lived scanner fed attacker-controlled or generated tag names must
+// not grow without bound. Past the cap, lookups still hit; new names are
+// resolved uncached.
+const maxNameCacheEntries = 1 << 16
+
 // DefaultBufferSize is the initial read buffer size. The buffer grows only
 // when a single token exceeds it.
 const DefaultBufferSize = 64 << 10
 
 // NewScanner returns a Scanner reading from r.
 func NewScanner(r io.Reader) *Scanner {
-	return &Scanner{r: r, buf: make([]byte, DefaultBufferSize)}
+	return &Scanner{
+		r:        r,
+		buf:      make([]byte, DefaultBufferSize),
+		interned: make(map[string]symEntry),
+	}
+}
+
+// NewScannerWith returns a Scanner that resolves element and attribute names
+// against syms: events carry the table's ID for interned names and
+// sax.SymUnknown for names the table does not know. The table is only read,
+// never grown, so any number of scanners may share one.
+func NewScannerWith(r io.Reader, syms *sax.Symbols) *Scanner {
+	s := NewScanner(r)
+	s.syms = syms
+	return s
+}
+
+// Reset prepares the Scanner for a new document read from r, retaining the
+// read buffer, the attribute scratch and the name intern cache (names repeat
+// across documents of a feed; re-resolving them would be wasted work).
+func (s *Scanner) Reset(r io.Reader) {
+	s.r = r
+	s.pos, s.end = 0, 0
+	s.off = 0
+	s.err = nil
+	s.depth = 0
+	s.stack = s.stack[:0]
+	s.text = s.text[:0]
+	s.textAt = 0
+	s.attrs = s.attrs[:0]
+	s.seenRoot = false
+	s.started = false
+	s.entities = nil
+}
+
+// intern resolves a name's canonical string and symbol ID through the
+// per-scanner cache (bounded; retained across Reset so recurring feed
+// vocabulary costs one allocation and one table lookup per scanner, not per
+// occurrence). The map lookup on string(b) does not allocate.
+func (s *Scanner) intern(b []byte) (string, int32) {
+	if e, ok := s.interned[string(b)]; ok {
+		return e.name, e.id
+	}
+	name := string(b)
+	id := sax.SymNone
+	if s.syms != nil {
+		id = s.syms.ID(name)
+	}
+	if len(s.interned) < maxNameCacheEntries {
+		s.interned[name] = symEntry{name: name, id: id}
+	}
+	return name, id
+}
+
+// internText materializes a character-data run as a string, deduplicating
+// short recurring runs through the bounded cache. Handlers may retain the
+// result: the backing of an interned string is never recycled.
+func (s *Scanner) internText(b []byte) string {
+	if len(b) > maxTextInternLen {
+		return string(b)
+	}
+	if v, ok := s.textCache[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	if s.textCache == nil {
+		s.textCache = make(map[string]string)
+	}
+	if len(s.textCache) < maxTextCacheEntries {
+		s.textCache[v] = v
+	}
+	return v
 }
 
 // SyntaxError describes a malformed-XML failure with its byte offset.
@@ -85,7 +195,7 @@ func (s *Scanner) syntaxf(off int64, format string, args ...any) error {
 // to h, and returns the first handler or syntax error.
 func (s *Scanner) Run(h sax.Handler) error {
 	if s.started {
-		return fmt.Errorf("xmlscan: Scanner is single-use")
+		return fmt.Errorf("xmlscan: Scanner already ran; call Reset before reuse")
 	}
 	s.started = true
 	if err := s.emit(h, sax.StartDocument, "", 0, "", nil, 0); err != nil {
@@ -236,25 +346,42 @@ func isNameByte(c byte) bool {
 	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
 }
 
-// readName scans an XML Name.
-func (s *Scanner) readName() (string, error) {
+// readNameBytes scans an XML Name into the reusable scratch buffer; the
+// returned slice is valid until the next readNameBytes call.
+func (s *Scanner) readNameBytes() ([]byte, error) {
 	c, ok := s.peek()
 	if !ok {
-		return "", s.syntaxf(s.off, "unexpected EOF, expected name")
+		return nil, s.syntaxf(s.off, "unexpected EOF, expected name")
 	}
 	if !isNameStart(c) {
-		return "", s.syntaxf(s.off, "invalid name start character %q", c)
+		return nil, s.syntaxf(s.off, "invalid name start character %q", c)
 	}
-	var b strings.Builder
+	s.nameBuf = s.nameBuf[:0]
 	for {
 		c, ok := s.peek()
 		if !ok || !isNameByte(c) {
 			break
 		}
-		b.WriteByte(c)
+		s.nameBuf = append(s.nameBuf, c)
 		s.advance(1)
 	}
-	return b.String(), nil
+	return s.nameBuf, nil
+}
+
+// readName scans an XML Name, returning its interned string.
+func (s *Scanner) readName() (string, error) {
+	name, _, err := s.readNameID()
+	return name, err
+}
+
+// readNameID scans an XML Name, returning its interned string and symbol ID.
+func (s *Scanner) readNameID() (string, int32, error) {
+	b, err := s.readNameBytes()
+	if err != nil {
+		return "", sax.SymNone, err
+	}
+	name, id := s.intern(b)
+	return name, id, nil
 }
 
 // expect consumes the literal lit or fails.
@@ -277,7 +404,7 @@ func (s *Scanner) expect(lit string) error {
 // character references are resolved inline; CDATA sections are merged by the
 // caller loop (scanBang appends to s.text).
 func (s *Scanner) scanText() error {
-	if s.text.Len() == 0 {
+	if len(s.text) == 0 {
 		s.textAt = s.off
 	}
 	for {
@@ -290,17 +417,17 @@ func (s *Scanner) scanText() error {
 			if err != nil {
 				return err
 			}
-			s.text.WriteString(r)
+			s.text = append(s.text, r...)
 			continue
 		}
 		if c == '>' {
 			// "]]>" must not appear in character data; a lone '>' is
 			// tolerated (browsers and encoding/xml accept it).
-			s.text.WriteByte(c)
+			s.text = append(s.text, c)
 			s.advance(1)
 			continue
 		}
-		s.text.WriteByte(c)
+		s.text = append(s.text, c)
 		s.advance(1)
 	}
 }
@@ -482,11 +609,11 @@ func parseCharRef(digits string) (rune, error) {
 // flushText emits a pending Text event, if any. Whitespace-only text outside
 // the root element is dropped; non-whitespace there is a syntax error.
 func (s *Scanner) flushText(h sax.Handler) error {
-	if s.text.Len() == 0 {
+	if len(s.text) == 0 {
 		return nil
 	}
-	t := s.text.String()
-	s.text.Reset()
+	t := s.internText(s.text)
+	s.text = s.text[:0]
 	if s.depth == 0 {
 		if strings.TrimLeft(t, " \t\r\n") != "" {
 			return s.syntaxf(s.textAt, "character data outside root element")
@@ -501,7 +628,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 	if s.seenRoot && s.depth == 0 {
 		return s.syntaxf(start, "multiple root elements")
 	}
-	name, err := s.readName()
+	name, nameID, err := s.readNameID()
 	if err != nil {
 		return err
 	}
@@ -525,7 +652,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 			selfClose = true
 			break
 		}
-		aname, err := s.readName()
+		aname, aid, err := s.readNameID()
 		if err != nil {
 			return err
 		}
@@ -543,7 +670,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 				return s.syntaxf(start, "duplicate attribute %q in <%s>", aname, name)
 			}
 		}
-		s.attrs = append(s.attrs, sax.Attr{Name: aname, Value: aval})
+		s.attrs = append(s.attrs, sax.Attr{Name: aname, Value: aval, NameID: aid})
 	}
 	s.depth++
 	s.stack = append(s.stack, name)
@@ -551,11 +678,11 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 	if len(s.attrs) > 0 {
 		evAttrs = s.attrs
 	}
-	if err := s.emit(h, sax.StartElement, name, s.depth, "", evAttrs, start); err != nil {
+	if err := s.emitTag(h, sax.StartElement, name, nameID, s.depth, evAttrs, start); err != nil {
 		return err
 	}
 	if selfClose {
-		if err := s.emit(h, sax.EndElement, name, s.depth, "", nil, start); err != nil {
+		if err := s.emitTag(h, sax.EndElement, name, nameID, s.depth, nil, start); err != nil {
 			return err
 		}
 		s.closeElement()
@@ -572,7 +699,7 @@ func (s *Scanner) scanAttrValue() (string, error) {
 	if q != '\'' && q != '"' {
 		return "", s.syntaxf(s.off-1, "attribute value must be quoted, found %q", q)
 	}
-	var b strings.Builder
+	s.valBuf = s.valBuf[:0]
 	for {
 		c, ok := s.peek()
 		if !ok {
@@ -580,7 +707,7 @@ func (s *Scanner) scanAttrValue() (string, error) {
 		}
 		if c == q {
 			s.advance(1)
-			return b.String(), nil
+			return s.internText(s.valBuf), nil
 		}
 		if c == '<' {
 			return "", s.syntaxf(s.off, "'<' not allowed in attribute value")
@@ -590,17 +717,17 @@ func (s *Scanner) scanAttrValue() (string, error) {
 			if err != nil {
 				return "", err
 			}
-			b.WriteString(r)
+			s.valBuf = append(s.valBuf, r...)
 			continue
 		}
-		b.WriteByte(c)
+		s.valBuf = append(s.valBuf, c)
 		s.advance(1)
 	}
 }
 
 // scanEndTag parses "</name>" with "</" already consumed.
 func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
-	name, err := s.readName()
+	name, nameID, err := s.readNameID()
 	if err != nil {
 		return err
 	}
@@ -615,7 +742,7 @@ func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
 	if open != name {
 		return s.syntaxf(start, "mismatched end tag: </%s> closes <%s>", name, open)
 	}
-	if err := s.emit(h, sax.EndElement, name, s.depth, "", nil, start); err != nil {
+	if err := s.emitTag(h, sax.EndElement, name, nameID, s.depth, nil, start); err != nil {
 		return err
 	}
 	s.closeElement()
@@ -703,7 +830,7 @@ func (s *Scanner) scanCDATA(start int64) error {
 	if s.depth == 0 {
 		return s.syntaxf(start, "CDATA section outside root element")
 	}
-	if s.text.Len() == 0 {
+	if len(s.text) == 0 {
 		s.textAt = start
 	}
 	var p1, p2 byte
@@ -717,7 +844,7 @@ func (s *Scanner) scanCDATA(start int64) error {
 		}
 		// p1 leaves the window; it is confirmed CDATA content.
 		if p1 != 0 {
-			s.text.WriteByte(p1)
+			s.text = append(s.text, p1)
 		}
 		p1, p2 = p2, c
 	}
@@ -868,5 +995,11 @@ func (s *Scanner) skipDeclTail(start int64) error {
 // emit delivers one event to the handler.
 func (s *Scanner) emit(h sax.Handler, k sax.Kind, name string, depth int, text string, attrs []sax.Attr, off int64) error {
 	s.event = sax.Event{Kind: k, Name: name, Depth: depth, Text: text, Attrs: attrs, Offset: off}
+	return h.HandleEvent(&s.event)
+}
+
+// emitTag delivers a start/end-element event carrying the name's symbol ID.
+func (s *Scanner) emitTag(h sax.Handler, k sax.Kind, name string, id int32, depth int, attrs []sax.Attr, off int64) error {
+	s.event = sax.Event{Kind: k, Name: name, NameID: id, Depth: depth, Attrs: attrs, Offset: off}
 	return h.HandleEvent(&s.event)
 }

@@ -244,14 +244,16 @@ func wantSyntaxError(t *testing.T, doc, substr string) {
 	}
 }
 
-func TestErrMismatchedTags(t *testing.T)    { wantSyntaxError(t, "<a><b></a></b>", "mismatched") }
-func TestErrUnclosedRoot(t *testing.T)      { wantSyntaxError(t, "<a><b></b>", "still open") }
-func TestErrMultipleRoots(t *testing.T)     { wantSyntaxError(t, "<a/><b/>", "multiple root") }
-func TestErrNoRoot(t *testing.T)            { wantSyntaxError(t, "  \n ", "no root") }
-func TestErrTextOutsideRoot(t *testing.T)   { wantSyntaxError(t, "junk<a/>", "outside root") }
-func TestErrTrailingText(t *testing.T)      { wantSyntaxError(t, "<a/>junk", "outside root") }
-func TestErrUnquotedAttr(t *testing.T)      { wantSyntaxError(t, "<a id=1/>", "quoted") }
-func TestErrDuplicateAttr(t *testing.T)     { wantSyntaxError(t, `<a x="1" x="2"/>`, "duplicate attribute") }
+func TestErrMismatchedTags(t *testing.T)  { wantSyntaxError(t, "<a><b></a></b>", "mismatched") }
+func TestErrUnclosedRoot(t *testing.T)    { wantSyntaxError(t, "<a><b></b>", "still open") }
+func TestErrMultipleRoots(t *testing.T)   { wantSyntaxError(t, "<a/><b/>", "multiple root") }
+func TestErrNoRoot(t *testing.T)          { wantSyntaxError(t, "  \n ", "no root") }
+func TestErrTextOutsideRoot(t *testing.T) { wantSyntaxError(t, "junk<a/>", "outside root") }
+func TestErrTrailingText(t *testing.T)    { wantSyntaxError(t, "<a/>junk", "outside root") }
+func TestErrUnquotedAttr(t *testing.T)    { wantSyntaxError(t, "<a id=1/>", "quoted") }
+func TestErrDuplicateAttr(t *testing.T) {
+	wantSyntaxError(t, `<a x="1" x="2"/>`, "duplicate attribute")
+}
 func TestErrBadEntity(t *testing.T)         { wantSyntaxError(t, "<a>&nope;</a>", "unknown entity") }
 func TestErrBadCharRef(t *testing.T)        { wantSyntaxError(t, "<a>&#zz;</a>", "invalid digit") }
 func TestErrEmptyCharRef(t *testing.T)      { wantSyntaxError(t, "<a>&#;</a>", "character reference") }

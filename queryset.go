@@ -3,19 +3,34 @@ package vitex
 import (
 	"io"
 	"sort"
+	"sync"
 
-	"repro/internal/sax"
+	"repro/internal/engine"
 	"repro/internal/twigm"
+	"repro/internal/xpath"
 )
 
 // QuerySet evaluates several compiled queries over one XML stream in a
 // single sequential scan — the subscription scenario of the paper's
 // motivation (stock tickers, personalized newspapers: many standing queries,
-// one feed). Each query runs its own TwigM machine; the scan is shared, so
-// the cost is one parse plus the per-query machine work instead of one full
-// pass per query.
+// one feed). All machines are linked against one shared symbol table and an
+// engine-level routing index maps each event to the machines whose name
+// tests mention it, so the per-event cost is proportional to the number of
+// interested queries, not the size of the set. Evaluation state is pooled:
+// a long-lived QuerySet serving a stream of documents reuses its machines,
+// scanner and buffers with near-zero steady-state allocation.
+//
+// A QuerySet is safe for concurrent Stream calls; Add must not race with
+// them.
 type QuerySet struct {
+	mu      sync.Mutex
 	queries []*Query
+	eng     *engine.Engine
+	// machQuery maps engine machine index -> query index (union queries
+	// contribute one machine per branch); branches counts machines per
+	// query.
+	machQuery []int
+	branches  []int
 }
 
 // NewQuerySet compiles all sources into a set. It fails on the first
@@ -32,14 +47,57 @@ func NewQuerySet(sources ...string) (*QuerySet, error) {
 	return qs, nil
 }
 
-// Add appends an already-compiled query.
-func (qs *QuerySet) Add(q *Query) { qs.queries = append(qs.queries, q) }
+// Add appends an already-compiled query. The shared dispatch index is
+// relinked on the next Stream.
+func (qs *QuerySet) Add(q *Query) {
+	qs.mu.Lock()
+	qs.queries = append(qs.queries, q)
+	qs.eng = nil
+	qs.mu.Unlock()
+}
 
 // Len returns the number of queries in the set.
-func (qs *QuerySet) Len() int { return len(qs.queries) }
+func (qs *QuerySet) Len() int {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return len(qs.queries)
+}
 
 // Query returns the i-th query of the set.
-func (qs *QuerySet) Query(i int) *Query { return qs.queries[i] }
+func (qs *QuerySet) Query(i int) *Query {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.queries[i]
+}
+
+// engine returns the set-wide engine, relinking every query's branches
+// against one fresh symbol table when the set changed. Recompilation is
+// linear in total query size (paper claim 2), so this is cheap relative to
+// any stream evaluation.
+func (qs *QuerySet) engineLocked() (*engine.Engine, []int, []int, error) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if qs.eng == nil {
+		var parsed []*xpath.Query
+		machQuery := make([]int, 0, len(qs.queries))
+		branches := make([]int, len(qs.queries))
+		for i, q := range qs.queries {
+			for _, p := range q.progs {
+				parsed = append(parsed, p.Query())
+				machQuery = append(machQuery, i)
+			}
+			branches[i] = len(q.progs)
+		}
+		eng, err := engine.New(parsed...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		qs.eng = eng
+		qs.machQuery = machQuery
+		qs.branches = branches
+	}
+	return qs.eng, qs.machQuery, qs.branches, nil
+}
 
 // SetResult tags a Result with the index of the query that produced it.
 type SetResult struct {
@@ -52,56 +110,55 @@ type SetResult struct {
 // Stream evaluates every query in the set over one scan of r. emit receives
 // each solution tagged with its query index, in per-query confirmation
 // order (or per-query document order with Options.Ordered). It returns
-// per-query statistics.
+// per-query statistics; scan-level counters (Events, Elements, MaxDepth)
+// describe the one shared scan and are identical across queries.
 func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error) ([]Stats, error) {
-	var handlers sax.Fanout
-	perQuery := make([][]*twigm.Run, len(qs.queries))
+	eng, machQuery, branches, err := qs.engineLocked()
+	if err != nil {
+		return nil, err
+	}
+	nq := len(branches)
 	// Union branches within one query share a dedup set; ordered union
-	// results are buffered and flushed in document order at end of scan.
+	// results are buffered and flushed in document order at end of scan
+	// with their Seq renumbered densely per query (branch-local Seqs are
+	// incomparable).
+	seen := make([]map[int64]bool, nq)
 	var held []SetResult
-	for i, q := range qs.queries {
-		idx := i
-		union := len(q.progs) > 1
-		var seen map[int64]bool
-		if union {
-			seen = make(map[int64]bool)
+	topts := make([]twigm.Options, eng.Len())
+	for j := range topts {
+		qi := machQuery[j]
+		union := branches[qi] > 1
+		topts[j] = twigm.Options{
+			Ordered:   opts.Ordered && !union,
+			CountOnly: opts.CountOnly,
+			Trace:     opts.Trace,
 		}
-		for _, prog := range q.progs {
-			topts := twigm.Options{
-				Ordered:   opts.Ordered && !union,
-				CountOnly: opts.CountOnly,
-				Trace:     opts.Trace,
-			}
-			if emit != nil {
-				topts.Emit = func(tr twigm.Result) error {
-					if union {
-						if seen[tr.NodeOffset] {
-							return nil
-						}
-						seen[tr.NodeOffset] = true
-						if opts.Ordered {
-							held = append(held, SetResult{QueryIndex: idx, Result: Result(tr)})
-							return nil
-						}
-					}
-					return emit(SetResult{QueryIndex: idx, Result: Result(tr)})
+		if emit == nil {
+			continue
+		}
+		if union && seen[qi] == nil {
+			seen[qi] = make(map[int64]bool)
+		}
+		topts[j].Emit = func(tr twigm.Result) error {
+			if union {
+				if seen[qi][tr.NodeOffset] {
+					return nil
+				}
+				seen[qi][tr.NodeOffset] = true
+				if opts.Ordered {
+					held = append(held, SetResult{QueryIndex: qi, Result: Result(tr)})
+					return nil
 				}
 			}
-			run := prog.Start(topts)
-			perQuery[i] = append(perQuery[i], run)
-			handlers = append(handlers, run)
+			return emit(SetResult{QueryIndex: qi, Result: Result(tr)})
 		}
 	}
-	var drv sax.Driver
-	if opts.UseStdParser {
-		drv = sax.NewStdDriver(r)
-	} else {
-		drv = newScanner(r)
-	}
-	err := drv.Run(handlers)
-	stats := make([]Stats, len(qs.queries))
-	for i, runs := range perQuery {
-		stats[i] = mergeStats(runs)
+	mstats, err := eng.Stream(r, opts.UseStdParser, topts)
+	stats := make([]Stats, nq)
+	next := 0
+	for qi := range stats {
+		stats[qi] = engine.MergeStats(mstats[next : next+branches[qi]])
+		next += branches[qi]
 	}
 	if err != nil {
 		return stats, err
@@ -113,8 +170,14 @@ func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error
 			}
 			return held[a].NodeOffset < held[b].NodeOffset
 		})
-		for _, sr := range held {
-			if err := emit(sr); err != nil {
+		seq, curQuery := int64(0), -1
+		for i := range held {
+			if held[i].QueryIndex != curQuery {
+				curQuery, seq = held[i].QueryIndex, 0
+			}
+			held[i].Seq = seq
+			seq++
+			if err := emit(held[i]); err != nil {
 				return stats, err
 			}
 		}

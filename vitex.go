@@ -12,12 +12,25 @@
 // are delivered incrementally, as soon as they are proven, long before the
 // stream ends.
 //
-// The package is organized exactly like figure 2 of the paper:
+// The package is organized like figure 2 of the paper, with one extra layer
+// for the paper's many-standing-queries scenario:
 //
 //	XPath parser  (internal/xpath)  — query text → query tree
 //	TwigM builder (internal/twigm)  — query tree → machine, linear time
 //	SAX parser    (internal/xmlscan)— byte stream → events, single pass
 //	TwigM machine (internal/twigm)  — events → solutions
+//	Query engine  (internal/engine) — routed multi-query dispatch
+//
+// All machines of a Query (or QuerySet) are compiled against one shared
+// symbol table; the scanner stamps each event with its name's integer ID,
+// and the engine routes the event only to the machines whose element or
+// attribute tests mention that name (wildcard, text and fragment-recording
+// subscriptions are tracked separately). Evaluating N standing queries over
+// one feed therefore costs one parse plus work proportional to the queries
+// an event actually concerns — not O(N) per event. Machine state, scanner
+// buffers and dispatch sets are pooled and reused across documents, so a
+// long-lived Query or QuerySet streams with near-zero steady-state
+// allocation.
 //
 // Quick start:
 //
@@ -31,9 +44,9 @@
 // text(); predicates combining relative paths, attribute and text()
 // existence tests, value comparisons (= != < <= > >=) against string or
 // numeric literals, self comparisons [. = 'v'], 'and'/'or', parentheses and
-// nesting. Out of scope (rejected at compile time): functions (not(),
-// position(), ...), positional predicates, path-vs-path comparisons,
-// reverse and named axes, unions.
+// nesting; top-level unions 'p1 | p2'. Out of scope (rejected at compile
+// time): functions (not(), position(), ...), positional predicates,
+// path-vs-path comparisons, reverse and named axes.
 package vitex
 
 import (
@@ -41,9 +54,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/sax"
+	"repro/internal/engine"
 	"repro/internal/twigm"
-	"repro/internal/xmlscan"
 	"repro/internal/xpath"
 )
 
@@ -92,32 +104,32 @@ type Options struct {
 }
 
 // Query is a compiled query: one immutable TwigM program per union branch
-// (a single-path query has exactly one). A Query can evaluate any number of
-// streams, including concurrently (each evaluation carries its own machine
-// state).
+// (a single-path query has exactly one), compiled against a shared symbol
+// table and wrapped in a routed-dispatch engine. A Query can evaluate any
+// number of streams, including concurrently (each evaluation checks private
+// machine state out of the engine's session pool, so repeated streaming over
+// one Query reuses warmed-up state instead of reallocating it).
 type Query struct {
+	eng   *engine.Engine
 	progs []*twigm.Program
 	src   string
 }
 
 // Compile parses an XPath query — including unions 'p1 | p2' — and builds
-// one TwigM machine per branch. Build time is linear in the query size.
-// Errors are *xpath.ParseError or *twigm.CompileError values describing the
-// offending position or width.
+// one TwigM machine per branch, all interned into one symbol table so scan
+// events dispatch by integer name ID. Build time is linear in the query
+// size. Errors are *xpath.ParseError or *twigm.CompileError values
+// describing the offending position or width.
 func Compile(src string) (*Query, error) {
 	parsed, err := xpath.ParseUnion(src)
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{src: src}
-	for _, branch := range parsed {
-		prog, err := twigm.Compile(branch)
-		if err != nil {
-			return nil, err
-		}
-		q.progs = append(q.progs, prog)
+	eng, err := engine.New(parsed...)
+	if err != nil {
+		return nil, err
 	}
-	return q, nil
+	return &Query{eng: eng, progs: eng.Programs(), src: src}, nil
 }
 
 // MustCompile is Compile, panicking on error.
@@ -185,28 +197,25 @@ func (q *Query) Stream(r io.Reader, opts Options, emit func(Result) error) (Stat
 				return emit(Result(tr))
 			}
 		}
-		run := q.progs[0].Start(topts)
-		if err := q.driver(r, opts).Run(run); err != nil {
-			return run.Stats(), err
-		}
-		return run.Stats(), nil
+		stats, err := q.eng.Stream(r, opts.UseStdParser, []twigm.Options{topts})
+		return stats[0], err
 	}
 	return q.streamUnion(r, opts, emit)
 }
 
-// streamUnion fans the scan out to one machine per branch, deduplicating by
-// node identity.
+// streamUnion evaluates one machine per branch over the shared scan
+// (routed, like any multi-machine evaluation), deduplicating by node
+// identity.
 func (q *Query) streamUnion(r io.Reader, opts Options, emit func(Result) error) (Stats, error) {
 	seen := make(map[int64]bool)
 	var held []Result // Ordered mode: buffer, sort, emit at end
-	handlers := make(sax.Fanout, len(q.progs))
-	runs := make([]*twigm.Run, len(q.progs))
-	for i, prog := range q.progs {
-		topts := twigm.Options{
+	topts := make([]twigm.Options, len(q.progs))
+	for i := range q.progs {
+		topts[i] = twigm.Options{
 			CountOnly: opts.CountOnly,
 			Trace:     opts.Trace,
 		}
-		topts.Emit = func(tr twigm.Result) error {
+		topts[i].Emit = func(tr twigm.Result) error {
 			if seen[tr.NodeOffset] {
 				return nil
 			}
@@ -220,53 +229,27 @@ func (q *Query) streamUnion(r io.Reader, opts Options, emit func(Result) error) 
 			}
 			return nil
 		}
-		runs[i] = prog.Start(topts)
-		handlers[i] = runs[i]
 	}
-	err := q.driver(r, opts).Run(handlers)
-	stats := mergeStats(runs)
+	branchStats, err := q.eng.Stream(r, opts.UseStdParser, topts)
+	stats := engine.MergeStats(branchStats)
 	if err != nil {
 		return stats, err
 	}
 	if opts.Ordered {
 		sort.Slice(held, func(i, j int) bool { return held[i].NodeOffset < held[j].NodeOffset })
-		for _, res := range held {
+		for i := range held {
+			// Branch-local Seq values are incomparable across branches;
+			// renumber in flush (= document) order to match single-path
+			// semantics.
+			held[i].Seq = int64(i)
 			if emit != nil {
-				if err := emit(res); err != nil {
+				if err := emit(held[i]); err != nil {
 					return stats, err
 				}
 			}
 		}
 	}
 	return stats, nil
-}
-
-// mergeStats aggregates per-branch statistics: counters sum, peaks take the
-// maximum, event counts come from the shared scan.
-func mergeStats(runs []*twigm.Run) Stats {
-	var out Stats
-	for i, run := range runs {
-		s := run.Stats()
-		if i == 0 {
-			out.Events = s.Events
-			out.Elements = s.Elements
-			out.MaxDepth = s.MaxDepth
-		}
-		out.Pushes += s.Pushes
-		out.Pops += s.Pops
-		out.FlagProps += s.FlagProps
-		out.CandMoves += s.CandMoves
-		out.CandidatesCreated += s.CandidatesCreated
-		out.CandidatesEmitted += s.CandidatesEmitted
-		out.CandidatesDropped += s.CandidatesDropped
-		out.PrunedPushes += s.PrunedPushes
-		out.PeakStackEntries += s.PeakStackEntries
-		if s.PeakLiveCandidates > out.PeakLiveCandidates {
-			out.PeakLiveCandidates = s.PeakLiveCandidates
-		}
-		out.PeakBufferedBytes += s.PeakBufferedBytes
-	}
-	return out
 }
 
 // Evaluate runs the query over a whole document and returns all solutions
@@ -307,14 +290,3 @@ func (q *Query) Count(r io.Reader) (int64, error) {
 	})
 	return n, err
 }
-
-func (q *Query) driver(r io.Reader, opts Options) sax.Driver {
-	if opts.UseStdParser {
-		return sax.NewStdDriver(r)
-	}
-	return newScanner(r)
-}
-
-// newScanner isolates the front-end constructor for the facade and
-// QuerySet.
-func newScanner(r io.Reader) sax.Driver { return xmlscan.NewScanner(r) }
