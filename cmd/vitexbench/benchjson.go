@@ -18,8 +18,12 @@ import (
 // repository's performance trajectory: later engine work reruns the same
 // workloads and compares against the committed numbers.
 type BenchRecord struct {
-	Name         string  `json:"name"`
-	Queries      int     `json:"queries"`
+	Name    string `json:"name"`
+	Queries int    `json:"queries"`
+	// Workers is the sharded-evaluation worker count (0 = serial on the
+	// calling goroutine).
+	Workers      int     `json:"workers,omitempty"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	CorpusBytes  int     `json:"corpus_bytes"`
 	Events       int64   `json:"events"`
 	Iterations   int     `json:"iterations"`
@@ -45,15 +49,16 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 	type workload struct {
 		name    string
 		queries int
+		workers int
 		run     func() (events int64, peak int, results int64, err error)
 	}
 	mkSet := func(sources []string) (*vitex.QuerySet, error) {
 		return vitex.NewQuerySet(sources...)
 	}
-	setRunner := func(qs *vitex.QuerySet) func() (int64, int, int64, error) {
+	setRunnerOpts := func(qs *vitex.QuerySet, opts vitex.Options) func() (int64, int, int64, error) {
 		return func() (int64, int, int64, error) {
 			var results int64
-			stats, err := qs.Stream(strings.NewReader(doc), vitex.Options{CountOnly: true},
+			stats, err := qs.Stream(strings.NewReader(doc), opts,
 				func(vitex.SetResult) error { results++; return nil })
 			if err != nil {
 				return 0, 0, 0, err
@@ -64,6 +69,9 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 			}
 			return stats[0].Events, peak, results, nil
 		}
+	}
+	setRunner := func(qs *vitex.QuerySet) func() (int64, int, int64, error) {
+		return setRunnerOpts(qs, vitex.Options{CountOnly: true})
 	}
 
 	qs1, err := mkSet(sparse[:1])
@@ -78,20 +86,27 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	parWorkers := runtime.GOMAXPROCS(0)
 	workloads := []workload{
-		{"single_query", 1, func() (int64, int, int64, error) {
+		{"single_query", 1, 0, func() (int64, int, int64, error) {
 			var results int64
 			stats, err := single.Stream(strings.NewReader(doc), vitex.Options{CountOnly: true},
 				func(vitex.Result) error { results++; return nil })
 			return stats.Events, stats.PeakStackEntries, results, err
 		}},
-		{"queryset_1", 1, setRunner(qs1)},
-		{"queryset_10", 10, setRunner(qs10)},
-		{"queryset_100", 100, setRunner(qs100)},
+		{"queryset_1", 1, 0, setRunner(qs1)},
+		{"queryset_10", 10, 0, setRunner(qs10)},
+		{"queryset_100", 100, 0, setRunner(qs100)},
+		// The sharded multi-core mode over the same 100-query standing
+		// set; compare events_per_sec against queryset_100 for the
+		// parallel speedup on this host (1.0x on a single-core host,
+		// where sharding falls back to the serial path).
+		{"queryset_100_parallel", 100, parWorkers,
+			setRunnerOpts(qs100, vitex.Options{CountOnly: true, Parallel: parWorkers})},
 	}
 
 	for _, w := range workloads {
-		rec, err := measure(w.name, w.queries, len(doc), w.run)
+		rec, err := measure(w.name, w.queries, w.workers, len(doc), w.run)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.name, err)
 		}
@@ -111,7 +126,7 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 
 // measure times fn until at least minBenchTime has elapsed (after one
 // warm-up run), tracking allocations with runtime.MemStats.
-func measure(name string, queries, corpusBytes int, fn func() (int64, int, int64, error)) (*BenchRecord, error) {
+func measure(name string, queries, workers, corpusBytes int, fn func() (int64, int, int64, error)) (*BenchRecord, error) {
 	const minBenchTime = 500 * time.Millisecond
 	events, peak, results, err := fn() // warm-up; also yields workload facts
 	if err != nil {
@@ -134,6 +149,8 @@ func measure(name string, queries, corpusBytes int, fn func() (int64, int, int64
 	return &BenchRecord{
 		Name:         name,
 		Queries:      queries,
+		Workers:      workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		CorpusBytes:  corpusBytes,
 		Events:       events,
 		Iterations:   iters,

@@ -60,7 +60,10 @@ func main() {
 	}
 
 	fmt.Printf("%d subscriptions, one scan of the feed:\n\n", qs.Len())
-	stats, err := qs.Stream(strings.NewReader(feed), vitex.Options{}, func(r vitex.SetResult) error {
+	// Parallel: -1 shards the machines over GOMAXPROCS workers; results
+	// and their order are byte-identical to a serial run, and this
+	// callback still executes sequentially on this goroutine.
+	stats, err := qs.Stream(strings.NewReader(feed), vitex.Options{Parallel: -1}, func(r vitex.SetResult) error {
 		fmt.Printf("  -> %-32s %s\n", subscribers[r.QueryIndex].name, r.Value)
 		return nil
 	})

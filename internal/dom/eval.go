@@ -1,6 +1,7 @@
 package dom
 
 import (
+	"repro/internal/sax"
 	"repro/internal/xpath"
 )
 
@@ -113,13 +114,15 @@ func walkAttrs(n *Node, add func(*Node)) {
 	}
 }
 
-// nodeTest checks kind and name only.
+// nodeTest checks kind and name only. Name tests match local names (prefixed
+// tests also require the prefix); namespace-declaration attributes never
+// match.
 func nodeTest(m *Node, step *xpath.Node) bool {
 	switch step.Kind {
 	case xpath.Element:
-		return m.Kind == ElementNode && (step.Name == "*" || step.Name == m.Name)
+		return m.Kind == ElementNode && step.Matches(m.Name)
 	case xpath.Attribute:
-		return m.Kind == AttrNode && step.Name == m.Name
+		return m.Kind == AttrNode && !sax.IsNamespaceDecl(m.Name) && step.Matches(m.Name)
 	default:
 		return m.Kind == TextNode
 	}

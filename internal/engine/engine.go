@@ -58,7 +58,8 @@ type Engine struct {
 	attrSubs [][]int32 // NameID -> machines whose attribute tests use the name
 	wild     []int32   // machines with a '*' element node: every start event
 
-	pool sync.Pool // *session
+	pool  sync.Pool // *session (serial evaluation)
+	ppool sync.Pool // *psession (parallel sharded evaluation)
 }
 
 // New compiles the parsed queries against one shared symbol table and builds
@@ -127,8 +128,8 @@ func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([
 		drv = s.scan
 	}
 	err := drv.Run(s)
-	stats := make([]twigm.Stats, len(s.runs))
-	for i, run := range s.runs {
+	stats := make([]twigm.Stats, len(s.rt.runs))
+	for i, run := range s.rt.runs {
 		st := run.Stats()
 		st.Events = s.events
 		st.Elements = s.elements
@@ -138,13 +139,75 @@ func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([
 	return stats, err
 }
 
-// session is one evaluation's worth of mutable state: the machines, the
-// reusable scanner, and the dynamic routing sets. Sessions are pooled and
-// fully reset between documents.
+// session is one serial evaluation's worth of mutable state: the machines,
+// the reusable scanner, and the router over all of them. Sessions are pooled
+// and fully reset between documents.
 type session struct {
 	eng  *Engine
-	runs []*twigm.Run
+	rt   router
 	scan *xmlscan.Scanner
+
+	// Shared-scan counters.
+	events   int64
+	elements int64
+	maxDepth int
+}
+
+func newSession(e *Engine) *session {
+	n := len(e.progs)
+	s := &session{
+		eng:  e,
+		scan: xmlscan.NewScannerWith(nil, e.syms),
+	}
+	runs := make([]*twigm.Run, n)
+	for i, p := range e.progs {
+		runs[i] = p.Start(twigm.Options{})
+	}
+	machines := make([]int32, n)
+	for i := range machines {
+		machines[i] = int32(i)
+	}
+	s.rt.init(runs, e.elemSubs, e.attrSubs, e.wild, machines)
+	return s
+}
+
+func (s *session) reset(opts []twigm.Options) {
+	for i, run := range s.rt.runs {
+		run.Reset(opts[i])
+	}
+	s.events = 0
+	s.elements = 0
+	s.maxDepth = 0
+	s.rt.reset()
+}
+
+// HandleEvent implements sax.Handler: it counts the scan's shared-level
+// quantities and routes the event to the machines subscribed to it.
+func (s *session) HandleEvent(ev *sax.Event) error {
+	s.events++
+	if ev.Kind == sax.StartElement {
+		s.elements++
+		if ev.Depth > s.maxDepth {
+			s.maxDepth = ev.Depth
+		}
+	}
+	return s.rt.route(ev, s.events)
+}
+
+// router routes scan events to a set of machines: the static subscription
+// tables restricted to the machines it routes for, the dynamic membership
+// sets, and the per-event subscriber scratch. The serial session routes over
+// all machines with the engine-wide tables; each shard worker of the
+// parallel mode routes over its shard with shard-filtered tables. One
+// implementation for both is what keeps the parallel mode's
+// byte-identical-to-serial guarantee from drifting.
+type router struct {
+	runs []*twigm.Run // indexed by GLOBAL machine id (shared in parallel mode)
+
+	elemSubs [][]int32 // NameID -> routed machines subscribed to the name
+	attrSubs [][]int32
+	wild     []int32
+	machines []int32 // all routed machines, ascending: the broadcast set
 
 	// Dynamic routing sets. endSet holds machines with live stack entries
 	// or an active recording (they need end-element events); textSet holds
@@ -160,76 +223,63 @@ type session struct {
 	stamp   int64
 	scratch []int32
 
-	// Shared-scan counters.
-	events   int64
-	elements int64
-	maxDepth int
+	// clock is the scan index of the event being delivered — the serial
+	// half of the emission-order key the parallel merge sorts on.
+	clock int64
 }
 
-func newSession(e *Engine) *session {
-	n := len(e.progs)
-	s := &session{
-		eng:    e,
-		runs:   make([]*twigm.Run, n),
-		scan:   xmlscan.NewScannerWith(nil, e.syms),
-		stamps: make([]int64, n),
-	}
-	for i, p := range e.progs {
-		s.runs[i] = p.Start(twigm.Options{})
-	}
-	s.endSet.init(n)
-	s.textSet.init(n)
-	s.fullSet.init(n)
-	return s
+// init wires the router over runs (indexed by global machine id) with the
+// given subscription tables; machines lists the ids this router routes for.
+func (rt *router) init(runs []*twigm.Run, elemSubs, attrSubs [][]int32, wild, machines []int32) {
+	n := len(runs)
+	rt.runs = runs
+	rt.elemSubs = elemSubs
+	rt.attrSubs = attrSubs
+	rt.wild = wild
+	rt.machines = machines
+	rt.stamps = make([]int64, n)
+	rt.endSet.init(n)
+	rt.textSet.init(n)
+	rt.fullSet.init(n)
 }
 
-func (s *session) reset(opts []twigm.Options) {
-	for i, run := range s.runs {
-		run.Reset(opts[i])
-	}
-	s.endSet.clear()
-	s.textSet.clear()
-	s.fullSet.clear()
-	s.events = 0
-	s.elements = 0
-	s.maxDepth = 0
-	for i := range s.runs {
-		s.refresh(int32(i))
+// reset clears the dynamic sets and recomputes the memberships of every
+// routed machine (their runs have just been Reset with fresh options).
+func (rt *router) reset() {
+	rt.endSet.clear()
+	rt.textSet.clear()
+	rt.fullSet.clear()
+	for _, i := range rt.machines {
+		rt.refresh(i)
 	}
 }
 
 // refresh recomputes machine i's dynamic routing memberships. Called after
 // every delivery to i (the only points its state can change) and at reset.
-func (s *session) refresh(i int32) {
-	run := s.runs[i]
+func (rt *router) refresh(i int32) {
+	run := rt.runs[i]
 	recording := run.Recording()
-	s.fullSet.set(i, recording)
-	s.endSet.set(i, recording || run.LiveEntries() > 0)
-	s.textSet.set(i, run.WantsText())
+	rt.fullSet.set(i, recording)
+	rt.endSet.set(i, recording || run.LiveEntries() > 0)
+	rt.textSet.set(i, run.WantsText())
 }
 
 // deliver hands the event to machine i with the clock synced to the shared
-// scan, then refreshes i's routing memberships.
-func (s *session) deliver(i int32, ev *sax.Event) error {
-	run := s.runs[i]
-	run.SetClock(s.events - 1)
-	err := run.HandleEvent(ev)
-	s.refresh(i)
+// scan index, then refreshes i's routing memberships.
+func (rt *router) deliver(i int32, ev *sax.Event, idx int64) error {
+	rt.clock = idx
+	err := rt.runs[i].HandleRouted(ev, idx)
+	rt.refresh(i)
 	return err
 }
 
-// HandleEvent implements sax.Handler: it routes one scan event to the
-// machines subscribed to it.
-func (s *session) HandleEvent(ev *sax.Event) error {
-	s.events++
+// route dispatches one scan event (1-based shared index idx) to the routed
+// machines subscribed to it, in ascending machine order.
+func (rt *router) route(ev *sax.Event, idx int64) error {
 	switch ev.Kind {
 	case sax.StartElement:
-		s.elements++
-		if ev.Depth > s.maxDepth {
-			s.maxDepth = ev.Depth
-		}
-		for _, i := range s.startSubscribers(ev) {
-			if err := s.deliver(i, ev); err != nil {
+		for _, i := range rt.startSubscribers(ev) {
+			if err := rt.deliver(i, ev, idx); err != nil {
 				return err
 			}
 		}
@@ -237,20 +287,20 @@ func (s *session) HandleEvent(ev *sax.Event) error {
 		// endSet contains every machine with something to pop or an
 		// open recording; iterate a snapshot since delivery mutates
 		// membership.
-		for _, i := range s.snapshot(&s.endSet) {
-			if err := s.deliver(i, ev); err != nil {
+		for _, i := range rt.snapshot(&rt.endSet) {
+			if err := rt.deliver(i, ev, idx); err != nil {
 				return err
 			}
 		}
 	case sax.Text:
-		for _, i := range s.snapshot(&s.textSet) {
-			if err := s.deliver(i, ev); err != nil {
+		for _, i := range rt.snapshot(&rt.textSet) {
+			if err := rt.deliver(i, ev, idx); err != nil {
 				return err
 			}
 		}
 	default: // StartDocument, EndDocument: broadcast (2 events per stream)
-		for i := range s.runs {
-			if err := s.deliver(int32(i), ev); err != nil {
+		for _, i := range rt.machines {
+			if err := rt.deliver(i, ev, idx); err != nil {
 				return err
 			}
 		}
@@ -258,19 +308,18 @@ func (s *session) HandleEvent(ev *sax.Event) error {
 	return nil
 }
 
-// startSubscribers collects, deduplicates and orders the machines that must
-// see a start-element event: subscribers of the element name, wildcard
-// machines, subscribers of any attribute name present, and machines on the
-// full feed. Delivery is in machine order, matching what a broadcast fan-out
-// would do, so interleavings are reproducible.
-func (s *session) startSubscribers(ev *sax.Event) []int32 {
-	e := s.eng
-	s.stamp++
-	out := s.scratch[:0]
+// startSubscribers collects, deduplicates and orders the routed machines
+// that must see a start-element event: subscribers of the element name,
+// wildcard machines, subscribers of any attribute name present, and machines
+// on the full feed. Delivery is in machine order, matching what a broadcast
+// fan-out would do, so interleavings are reproducible.
+func (rt *router) startSubscribers(ev *sax.Event) []int32 {
+	rt.stamp++
+	out := rt.scratch[:0]
 	add := func(list []int32) {
 		for _, i := range list {
-			if s.stamps[i] != s.stamp {
-				s.stamps[i] = s.stamp
+			if rt.stamps[i] != rt.stamp {
+				rt.stamps[i] = rt.stamp
 				out = append(out, i)
 			}
 		}
@@ -279,46 +328,43 @@ func (s *session) startSubscribers(ev *sax.Event) []int32 {
 	if id := ev.NameID; id == sax.SymNone {
 		// Producer without a symbol table: no routing information.
 		broadcast = true
-	} else if id > 0 && int(id) < len(e.elemSubs) {
-		add(e.elemSubs[id])
+	} else if id > 0 && int(id) < len(rt.elemSubs) {
+		add(rt.elemSubs[id])
 	}
 	for ai := range ev.Attrs {
 		if id := ev.Attrs[ai].NameID; id == sax.SymNone {
 			broadcast = true
-		} else if id > 0 && int(id) < len(e.attrSubs) {
-			add(e.attrSubs[id])
+		} else if id > 0 && int(id) < len(rt.attrSubs) {
+			add(rt.attrSubs[id])
 		}
 	}
 	if broadcast {
-		out = out[:0]
-		for i := range s.runs {
-			out = append(out, int32(i))
-		}
-		s.scratch = out
+		out = append(out[:0], rt.machines...)
+		rt.scratch = out
 		return out
 	}
-	add(e.wild)
-	add(s.fullSet.items)
+	add(rt.wild)
+	add(rt.fullSet.items)
 	// Insertion sort: subscriber counts per event are small by design.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	s.scratch = out
+	rt.scratch = out
 	return out
 }
 
 // snapshot copies a dynamic set into the scratch buffer in machine order, so
 // deliveries can mutate the set while we iterate.
-func (s *session) snapshot(d *denseSet) []int32 {
-	out := append(s.scratch[:0], d.items...)
+func (rt *router) snapshot(d *denseSet) []int32 {
+	out := append(rt.scratch[:0], d.items...)
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	s.scratch = out
+	rt.scratch = out
 	return out
 }
 

@@ -1,0 +1,466 @@
+// Parallel sharded evaluation: the multi-core mode of the shared-dispatch
+// engine.
+//
+// Serial routed dispatch (engine.go) made per-event machine work
+// proportional to the interested queries, but one goroutine still scans,
+// routes and runs every machine — on a large standing set the paper's
+// many-subscriptions scenario leaves every core but one idle. This file
+// splits the pipeline: a scan goroutine parses the stream and stamps events
+// into fixed-size pooled batches, N workers each own a static shard of the
+// machines (machine i belongs to shard i mod N) and route every batch
+// against their shard only, and the caller's goroutine merges the per-shard
+// result streams back into the exact serial emission order.
+//
+// Determinism is the design constraint: parallel evaluation must be
+// byte-identical to the serial routed run — same Results, same Seq numbers,
+// same ConfirmedAt/DeliveredAt clocks, same interleaving of emissions across
+// machines (union dedup picks the first branch to emit; Ordered flushes
+// mid-stream). Three properties deliver it:
+//
+//  1. A machine's state trajectory depends only on the events delivered to
+//     it and the shared event clock. Workers deliver exactly the events the
+//     serial router would (the routing decision for machine i reads only
+//     machine i's state and static tables), with the clock pinned per event
+//     via Run.HandleRouted — so per-machine outputs are identical.
+//  2. Serial emission order is (event index, machine index, per-machine
+//     emission order): the serial loop delivers each event to its
+//     subscribers in ascending machine order, and any emission happens
+//     inside some delivery. Each worker processes events in order and its
+//     shard machines in ascending order, so each shard's emission stream is
+//     already sorted by that key.
+//  3. Workers emit one result chunk per batch (empty chunks included), so
+//     the merger can walk batches in lockstep and k-way-merge the shard
+//     streams by (event index, machine index) — ties are impossible across
+//     shards because a machine lives in exactly one — invoking the caller's
+//     Emit callbacks sequentially from one goroutine, exactly as the serial
+//     engine would.
+//
+// Batches, worker sessions, machine runs, routing tables and the internal
+// Emit closures are pooled per Engine; the per-stream cost on top of the
+// serial path is one pair of channels per worker plus the emission buffers
+// results pass through.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sax"
+	"repro/internal/twigm"
+	"repro/internal/xmlscan"
+)
+
+// batchSize is the number of events stamped into one batch. Large enough to
+// amortize channel hand-off, small enough to keep incremental delivery
+// (results reach the caller at batch granularity).
+const batchSize = 512
+
+// errAborted is the sentinel the producer returns to stop the scan after a
+// downstream failure; it never escapes to the caller.
+var errAborted = errors.New("engine: parallel evaluation aborted")
+
+// StreamParallel evaluates every machine over one scan of r using the given
+// number of worker goroutines (workers <= 0 means GOMAXPROCS). Results,
+// statistics, per-query Seq numbers and ConfirmedAt/DeliveredAt clocks are
+// byte-identical to Stream; Emit callbacks are invoked sequentially from the
+// calling goroutine in the serial emission order. Evaluations with a Trace
+// writer, fewer than two machines or fewer than two workers fall back to the
+// serial path.
+func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(e.progs) {
+		workers = len(e.progs)
+	}
+	traced := false
+	for i := range opts {
+		if opts[i].Trace != nil {
+			traced = true
+			break
+		}
+	}
+	if workers < 2 || traced {
+		return e.Stream(r, useStdParser, opts)
+	}
+	if len(opts) != len(e.progs) {
+		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(e.progs))
+	}
+
+	ps, _ := e.ppool.Get().(*psession)
+	if ps == nil || ps.nworkers != workers {
+		ps = newPsession(e, workers)
+	}
+	defer e.ppool.Put(ps)
+	ps.reset(opts)
+
+	var drv sax.Driver
+	if useStdParser {
+		drv = sax.NewStdDriverWith(r, e.syms)
+	} else {
+		ps.scan.Reset(r)
+		drv = ps.scan
+	}
+
+	// Start the shard workers and the scan.
+	var wg sync.WaitGroup
+	for _, w := range ps.workers {
+		wg.Add(1)
+		go func(w *pworker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	prod := &ps.prod
+	var scanErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		scanErr = drv.Run(prod)
+		prod.finish()
+	}()
+
+	// Merge: one chunk per worker per batch, k-way merged by
+	// (event index, machine index).
+	var emitErr error
+	fronts := make([]resultChunk, len(ps.workers))
+	for {
+		open := false
+		for wi, w := range ps.workers {
+			c, ok := <-w.out
+			if ok {
+				open = true
+			}
+			fronts[wi] = c
+		}
+		if !open {
+			break
+		}
+		if emitErr != nil {
+			continue // draining after a failed Emit
+		}
+		for {
+			best := -1
+			for wi := range fronts {
+				f := &fronts[wi]
+				if f.next >= len(f.emissions) {
+					continue
+				}
+				if best < 0 || less(&f.emissions[f.next], &fronts[best].emissions[fronts[best].next]) {
+					best = wi
+				}
+			}
+			if best < 0 {
+				break
+			}
+			em := &fronts[best].emissions[fronts[best].next]
+			fronts[best].next++
+			if emit := opts[em.mach].Emit; emit != nil {
+				if err := emit(em.res); err != nil {
+					emitErr = err
+					prod.abort.Store(true)
+					break
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	stats := make([]twigm.Stats, len(ps.runs))
+	for i, run := range ps.runs {
+		st := run.Stats()
+		st.Events = prod.events
+		st.Elements = prod.elements
+		st.MaxDepth = prod.maxDepth
+		stats[i] = st
+	}
+	for _, w := range ps.workers {
+		if w.failed != nil {
+			return stats, w.failed
+		}
+	}
+	if emitErr != nil {
+		return stats, emitErr
+	}
+	if scanErr != nil && scanErr != errAborted {
+		return stats, scanErr
+	}
+	return stats, nil
+}
+
+// emission is one result with its serial-order key: the 1-based index of the
+// scan event during whose delivery it was emitted, and the machine that
+// emitted it.
+type emission struct {
+	at   int64
+	mach int32
+	res  twigm.Result
+}
+
+// less orders emissions by the serial emission key.
+func less(a, b *emission) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.mach < b.mach
+}
+
+// resultChunk is one batch's worth of one shard's emissions, already sorted
+// by the serial key.
+type resultChunk struct {
+	emissions []emission
+	next      int
+}
+
+// eventBatch is a pooled, fixed-capacity slice of scan events. Attribute
+// slices are deep-copied into the batch's arena (the scanner reuses its
+// attribute buffer between events); Name/Text strings are stable by the
+// producer contracts of this repository. refs counts the workers still
+// reading the batch; the last one returns it to the freelist.
+type eventBatch struct {
+	base   int64 // 1-based scan index of events[0]
+	events []sax.Event
+	attrs  []sax.Attr
+	refs   atomic.Int32
+}
+
+// psession is one parallel evaluation's worth of mutable state: all machine
+// runs, the shard workers (each a router over its shard with shard-filtered
+// tables), the reusable scanner and the batch freelist. Pooled per Engine.
+// Runs, routing tables, internal Emit closures, dynamic sets and batches are
+// all retained across streams; the per-stream cost is one pair of channels
+// per worker plus whatever emission buffers results need.
+type psession struct {
+	eng      *Engine
+	nworkers int
+	runs     []*twigm.Run
+	scan     *xmlscan.Scanner
+	workers  []*pworker
+	free     chan *eventBatch
+	prod     producer
+	// emitOn[i] records whether the caller installed an Emit for machine
+	// i this stream; the prebuilt internal closures consult it so they
+	// can be wired once at construction.
+	emitOn []bool
+	// emits[i] is machine i's internal Emit closure, built once.
+	emits []func(twigm.Result) error
+}
+
+// pworker owns the machines of one shard: a router restricted to the shard,
+// the channels batches and results flow through, and the emission buffer the
+// shard's internal Emit closures append to.
+type pworker struct {
+	ps *psession
+	rt router
+
+	cur    []emission
+	failed error
+
+	in  chan *eventBatch
+	out chan resultChunk
+}
+
+func newPsession(e *Engine, workers int) *psession {
+	n := len(e.progs)
+	ps := &psession{
+		eng:      e,
+		nworkers: workers,
+		runs:     make([]*twigm.Run, n),
+		scan:     xmlscan.NewScannerWith(nil, e.syms),
+		free:     make(chan *eventBatch, 4*workers+4),
+		emitOn:   make([]bool, n),
+	}
+	for i, p := range e.progs {
+		ps.runs[i] = p.Start(twigm.Options{})
+	}
+	shardOf := func(i int32) int { return int(i) % workers }
+	shardFilter := func(subs [][]int32, w int) [][]int32 {
+		out := make([][]int32, len(subs))
+		for id, list := range subs {
+			for _, i := range list {
+				if shardOf(i) == w {
+					out[id] = append(out[id], i)
+				}
+			}
+		}
+		return out
+	}
+	for wi := 0; wi < workers; wi++ {
+		w := &pworker{ps: ps}
+		var wild, machines []int32
+		for _, i := range e.wild {
+			if shardOf(i) == wi {
+				wild = append(wild, i)
+			}
+		}
+		for i := int32(0); int(i) < n; i++ {
+			if shardOf(i) == wi {
+				machines = append(machines, i)
+			}
+		}
+		w.rt.init(ps.runs, shardFilter(e.elemSubs, wi), shardFilter(e.attrSubs, wi), wild, machines)
+		ps.workers = append(ps.workers, w)
+	}
+	ps.emits = make([]func(twigm.Result) error, n)
+	for i := range ps.emits {
+		ps.emits[i] = ps.emitFor(int32(i))
+	}
+	ps.prod.ps = ps
+	return ps
+}
+
+// emitFor builds machine i's internal Emit closure, wired once at
+// construction: it stamps each result with the serial-order key and parks it
+// on the owning worker's chunk buffer.
+func (ps *psession) emitFor(i int32) func(twigm.Result) error {
+	w := ps.workers[int(i)%ps.nworkers]
+	return func(tr twigm.Result) error {
+		if !ps.emitOn[i] {
+			return nil
+		}
+		w.cur = append(w.cur, emission{at: w.rt.clock, mach: i, res: tr})
+		return nil
+	}
+}
+
+// reset prepares the pooled session for a new stream: machine runs are reset
+// with the caller's options (Emit redirected to the prebuilt per-machine
+// recorder), routing memberships recomputed, channels re-created (the
+// previous stream closed them).
+func (ps *psession) reset(opts []twigm.Options) {
+	for i, run := range ps.runs {
+		ps.emitOn[i] = opts[i].Emit != nil
+		ropts := opts[i]
+		ropts.Emit = ps.emits[i]
+		run.Reset(ropts)
+	}
+	for _, w := range ps.workers {
+		w.cur = nil
+		w.failed = nil
+		w.in = make(chan *eventBatch, 4)
+		w.out = make(chan resultChunk, 8)
+		w.rt.reset()
+	}
+	ps.prod.reset()
+}
+
+// ---- producer (scan side) ----
+
+// producer implements sax.Handler on the scan goroutine: it stamps events
+// into batches, maintains the shared-scan counters, and hands full batches
+// to every worker.
+type producer struct {
+	ps       *psession
+	cur      *eventBatch
+	events   int64
+	elements int64
+	maxDepth int
+	abort    atomic.Bool
+}
+
+func (p *producer) reset() {
+	p.cur = nil
+	p.events = 0
+	p.elements = 0
+	p.maxDepth = 0
+	p.abort.Store(false)
+}
+
+func (p *producer) batch() *eventBatch {
+	select {
+	case b := <-p.ps.free:
+		b.events = b.events[:0]
+		b.attrs = b.attrs[:0]
+		return b
+	default:
+		return &eventBatch{
+			events: make([]sax.Event, 0, batchSize),
+			attrs:  make([]sax.Attr, 0, 2*batchSize),
+		}
+	}
+}
+
+// HandleEvent implements sax.Handler. The scanner reuses its event and
+// attribute buffers between calls, so events are copied by value and
+// attribute slices into the batch arena.
+func (p *producer) HandleEvent(ev *sax.Event) error {
+	if p.abort.Load() {
+		return errAborted
+	}
+	p.events++
+	if ev.Kind == sax.StartElement {
+		p.elements++
+		if ev.Depth > p.maxDepth {
+			p.maxDepth = ev.Depth
+		}
+	}
+	if p.cur == nil {
+		p.cur = p.batch()
+		p.cur.base = p.events
+	}
+	b := p.cur
+	e := *ev
+	if len(ev.Attrs) > 0 {
+		start := len(b.attrs)
+		b.attrs = append(b.attrs, ev.Attrs...)
+		e.Attrs = b.attrs[start:len(b.attrs):len(b.attrs)]
+	}
+	b.events = append(b.events, e)
+	if len(b.events) == batchSize {
+		p.dispatch()
+	}
+	return nil
+}
+
+// dispatch hands the current batch to every worker.
+func (p *producer) dispatch() {
+	b := p.cur
+	p.cur = nil
+	b.refs.Store(int32(len(p.ps.workers)))
+	for _, w := range p.ps.workers {
+		w.in <- b
+	}
+}
+
+// finish flushes the trailing partial batch and closes the worker inputs.
+func (p *producer) finish() {
+	if p.cur != nil && len(p.cur.events) > 0 {
+		p.dispatch()
+	}
+	p.cur = nil
+	for _, w := range p.ps.workers {
+		close(w.in)
+	}
+}
+
+// ---- worker (shard side) ----
+
+// loop consumes batches until the producer closes the input, emitting one
+// result chunk per batch. After a machine failure the worker keeps draining
+// (and releasing) batches so the producer and merger never block, but stops
+// delivering events.
+func (w *pworker) loop() {
+	for b := range w.in {
+		if w.failed == nil {
+			for i := range b.events {
+				if err := w.rt.route(&b.events[i], b.base+int64(i)); err != nil {
+					w.failed = err
+					break
+				}
+			}
+		}
+		if b.refs.Add(-1) == 0 {
+			select {
+			case w.ps.free <- b:
+			default:
+			}
+		}
+		w.out <- resultChunk{emissions: w.cur}
+		w.cur = nil
+	}
+	close(w.out)
+}

@@ -1,0 +1,197 @@
+package integration
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+
+	vitex "repro"
+)
+
+// This file is the permanent differential harness between the two XML
+// front-ends: every document in the edge-case corpus, evaluated under both
+// the custom scanner and the encoding/xml adapter, must produce identical
+// results — value-for-value, offset-for-offset, clock-for-clock. This is the
+// harness that caught the two conformance bugs fixed alongside it: prefixed
+// elements matching under one parser but not the other, and UTF-8 BOMs
+// rejected as "character data outside root element" by both.
+
+// differentialDocs is the seeded corpus of edge-case documents. Each entry
+// names the XML surface it exercises.
+func differentialDocs() []struct{ name, doc string } {
+	deep := strings.Repeat("<a k='1'>", 60) + "x" + strings.Repeat("</a>", 60)
+	return []struct{ name, doc string }{
+		{"plain", `<r><a>x</a><b>y</b></r>`},
+		{"prefixes", `<r xmlns:p='u'><p:a>x</p:a><a>y</a></r>`},
+		{"prefixAttrs", `<r xmlns:p='u'><a p:k='1' k='2'>x</a></r>`},
+		{"defaultNS", `<r xmlns='u'><a>x</a><a>y</a></r>`},
+		{"nestedNS", `<r xmlns:p='u'><p:a><b xmlns:q='v'><q:c>z</q:c></b></p:a></r>`},
+		{"utf8BOM", "\xEF\xBB\xBF<r><a>1</a><a>2</a></r>"},
+		{"bomAndDecl", "\xEF\xBB\xBF<?xml version=\"1.0\"?><r><a>1</a></r>"},
+		{"cdata", `<r><a>one<![CDATA[ & two <raw> ]]>three</a></r>`},
+		{"cdataOnly", `<r><a><![CDATA[x]]></a></r>`},
+		{"entityAttrs", `<r><a k="x&amp;y&#65;&quot;" j='&lt;&gt;'>v</a></r>`},
+		{"entityText", `<r><a>x &amp; y &#x41;</a></r>`},
+		{"commentSplit", `<r><a>one<!-- c -->two</a></r>`},
+		{"piSplit", `<r><a>one<?pi data?>two</a></r>`},
+		{"selfClosing", `<r><a k='1'/><a></a><a/></r>`},
+		{"deepNesting", "<r>" + deep + "</r>"},
+		{"declDoctype", `<?xml version="1.0" encoding="UTF-8"?><r><a>x</a></r>`},
+		{"whitespace", "<r>\n  <a>x</a>\n  <a>\ty\r\n</a>\n</r>"},
+		{"crlf", "<r>\r\n<a k='v\r\nw\rz'>one\r\ntwo\rthree</a>\r</r>"},
+		{"crlfCDATA", "<r><a><![CDATA[a\r\nb\rc]]>\r\nd</a></r>"},
+		{"charRefCR", "<r><a k='x&#13;y'>p&#13;q</a></r>"},
+	}
+}
+
+// differentialQueries covers the name-test, attribute, text, predicate and
+// union shapes whose semantics could plausibly diverge between front-ends.
+var differentialQueries = []string{
+	"//a",
+	"//p:a",
+	"//q:c",
+	"//r/*",
+	"//a/text()",
+	"//a/@k",
+	"//a[@k='1']",
+	"//a[@k]",
+	"//*[@k]",
+	"//a[.='onetwo']",
+	"//r//a",
+	"//a//a//a",
+	"//a | //b",
+	"//p:a | //a",
+	"//@k | //@j",
+}
+
+// evalBoth evaluates src over doc under both parsers with the given options
+// and returns the two result sequences.
+func evalBoth(t *testing.T, src, doc string, opts vitex.Options) (custom, std []vitex.Result, customErr, stdErr error) {
+	t.Helper()
+	q := vitex.MustCompile(src)
+	collect := func(useStd bool) ([]vitex.Result, error) {
+		o := opts
+		o.UseStdParser = useStd
+		var out []vitex.Result
+		_, err := q.Stream(strings.NewReader(doc), o, func(r vitex.Result) error {
+			out = append(out, r)
+			return nil
+		})
+		return out, err
+	}
+	custom, customErr = collect(false)
+	std, stdErr = collect(true)
+	return custom, std, customErr, stdErr
+}
+
+// TestParserDifferential is the permanent harness: identical results under
+// both front-ends for every corpus document, query and option combination.
+func TestParserDifferential(t *testing.T) {
+	for _, d := range differentialDocs() {
+		for _, src := range differentialQueries {
+			for _, opts := range []vitex.Options{{}, {Ordered: true}, {CountOnly: true}} {
+				custom, std, cerr, serr := evalBoth(t, src, d.doc, opts)
+				if cerr != nil || serr != nil {
+					t.Fatalf("doc %s query %q opts %+v: custom err=%v, std err=%v", d.name, src, opts, cerr, serr)
+				}
+				if !reflect.DeepEqual(custom, std) {
+					t.Fatalf("doc %s query %q opts %+v:\ncustom %+v\nstd    %+v\ndoc: %s",
+						d.name, src, opts, custom, std, d.doc)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixedNameRegression pins the repro from the issue: under the old
+// code //a found <p:a> with the std parser (which strips prefixes) but not
+// with the custom scanner (which kept them), so the answer depended on the
+// parser. Both must now match local names: //a finds both <p:a> and <a>,
+// //p:a finds only <p:a>, and //u:a (wrong prefix) finds nothing.
+func TestPrefixedNameRegression(t *testing.T) {
+	doc := `<r xmlns:p='u'><p:a>x</p:a><a>y</a></r>`
+	for _, useStd := range []bool{false, true} {
+		opts := vitex.Options{UseStdParser: useStd}
+		check := func(src string, want []string) {
+			t.Helper()
+			q := vitex.MustCompile(src)
+			var got []string
+			if _, err := q.Stream(strings.NewReader(doc), opts, func(r vitex.Result) error {
+				got = append(got, r.Value)
+				return nil
+			}); err != nil {
+				t.Fatalf("std=%v %s: %v", useStd, src, err)
+			}
+			if !equal(got, want) {
+				t.Fatalf("std=%v %s: got %q, want %q", useStd, src, got, want)
+			}
+		}
+		check("//a", []string{"<p:a>x</p:a>", "<a>y</a>"})
+		check("//p:a", []string{"<p:a>x</p:a>"})
+		check("//u:a", nil)
+		check("//a/text()", []string{"x", "y"})
+	}
+}
+
+// TestBOMHandling: a UTF-8 BOM must be skipped by both front-ends; UTF-16
+// and UTF-32 BOMs must be rejected with an unsupported-encoding error, not a
+// tag-soup syntax error.
+func TestBOMHandling(t *testing.T) {
+	q := vitex.MustCompile("//a/text()")
+	for _, useStd := range []bool{false, true} {
+		opts := vitex.Options{UseStdParser: useStd}
+		got, err := func() ([]string, error) {
+			var out []string
+			_, err := q.Stream(strings.NewReader("\xEF\xBB\xBF<r><a>1</a></r>"), opts, func(r vitex.Result) error {
+				out = append(out, r.Value)
+				return nil
+			})
+			return out, err
+		}()
+		if err != nil {
+			t.Fatalf("std=%v UTF-8 BOM: %v", useStd, err)
+		}
+		if !equal(got, []string{"1"}) {
+			t.Fatalf("std=%v UTF-8 BOM: got %q", useStd, got)
+		}
+		for name, doc := range map[string]string{
+			"UTF-16BE": "\xFE\xFF\x00<\x00r",
+			"UTF-16LE": "\xFF\xFE<\x00r\x00",
+			"UTF-32BE": "\x00\x00\xFE\xFF",
+		} {
+			_, err := q.Stream(strings.NewReader(doc), opts, func(vitex.Result) error { return nil })
+			if err == nil || !strings.Contains(err.Error(), "unsupported encoding") {
+				t.Fatalf("std=%v %s: err = %v, want unsupported-encoding error", useStd, name, err)
+			}
+		}
+	}
+}
+
+// TestParserDifferentialRandomized extends the harness with seeded random
+// documents and queries — the same generator the engine equivalence campaign
+// uses, here contrasting the two front-ends instead of two dispatch modes.
+func TestParserDifferentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		doc := datagen.DefaultRandomTree.Generate(rng)
+		src := datagen.RandomQuery(rng, datagen.DefaultRandomTree, false)
+		if rng.Intn(4) == 0 {
+			src += " | " + datagen.RandomQuery(rng, datagen.DefaultRandomTree, false)
+		}
+		opts := vitex.Options{Ordered: rng.Intn(2) == 0}
+		custom, std, cerr, serr := evalBoth(t, src, doc, opts)
+		if cerr != nil || serr != nil {
+			t.Fatalf("trial %d %q: custom err=%v, std err=%v", trial, src, cerr, serr)
+		}
+		if !reflect.DeepEqual(custom, std) {
+			t.Fatalf("trial %d query %q:\ncustom %+v\nstd    %+v\ndoc: %s", trial, src, custom, std, doc)
+		}
+	}
+}

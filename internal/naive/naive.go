@@ -66,9 +66,13 @@ type Engine struct {
 
 // qnode is a flattened query node.
 type qnode struct {
-	idx      int
-	kind     xpath.Kind
-	name     string
+	idx  int
+	kind xpath.Kind
+	name string
+	// prefix/local split of the name test: matching is on the local name,
+	// with the prefix as an extra requirement when non-empty.
+	prefix   string
+	local    string
 	axis     xpath.Axis
 	parent   int // -1 for the query root
 	children []int
@@ -79,6 +83,31 @@ type qnode struct {
 	// plus any [.=...] self-predicates), evaluated at the element's end
 	// tag against its complete string-value.
 	cmps []*xpath.Comparison
+}
+
+// matchesElem reports whether the event's element name satisfies q's name
+// test (wildcard, or equal local names plus an equal prefix when the test is
+// prefixed) — the same semantics as TwigM and the DOM oracle.
+func (q *qnode) matchesElem(ev *sax.Event) bool {
+	if q.name == "*" {
+		return true
+	}
+	if q.local != ev.LocalName() {
+		return false
+	}
+	return q.prefix == "" || q.prefix == ev.PrefixName()
+}
+
+// matchesAttr is matchesElem for attributes; namespace declarations never
+// match.
+func (q *qnode) matchesAttr(a *sax.Attr) bool {
+	if a.IsNamespaceDecl() {
+		return false
+	}
+	if q.local != a.LocalName() {
+		return false
+	}
+	return q.prefix == "" || q.prefix == a.PrefixName()
 }
 
 // Compile flattens the query tree in pre-order. It returns ErrUnsupported
@@ -102,8 +131,13 @@ func (e *Engine) addChain(n *xpath.Node, parentIdx int) error {
 			idx:    len(e.nodes),
 			kind:   n.Kind,
 			name:   n.Name,
+			prefix: n.Prefix,
+			local:  n.Local,
 			axis:   n.Axis,
 			parent: prev,
+		}
+		if qi.kind != xpath.Text && qi.local == "" && qi.name != "" {
+			qi.prefix, qi.local = sax.SplitName(qi.name)
 		}
 		e.nodes = append(e.nodes, qi)
 		if prev >= 0 {
@@ -381,7 +415,7 @@ func (r *Run) startElement(ev *sax.Event) {
 	// (attribute children need that) but not to the same node (only the
 	// pre-extension prefix is scanned).
 	for _, q := range r.eng.nodes {
-		if q.kind != xpath.Element || (q.name != "*" && q.name != ev.Name) {
+		if q.kind != xpath.Element || !q.matchesElem(ev) {
 			continue
 		}
 		if q.idx == r.eng.out {
@@ -397,10 +431,11 @@ func (r *Run) startElement(ev *sax.Event) {
 		}
 	}
 	// Attribute bindings.
-	for ai, a := range ev.Attrs {
+	for ai := range ev.Attrs {
+		a := &ev.Attrs[ai]
 		attrID := id + 1 + int32(ai)
 		for _, q := range r.eng.nodes {
-			if q.kind != xpath.Attribute || q.name != a.Name {
+			if q.kind != xpath.Attribute || !q.matchesAttr(a) {
 				continue
 			}
 			if q.cmp != nil && !q.cmp.Eval(a.Value) {

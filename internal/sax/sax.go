@@ -56,12 +56,74 @@ func (k Kind) String() string {
 // Attr is a single attribute of a start-element event. Values have all
 // entity references resolved.
 type Attr struct {
+	// Name is the full lexical QName as written in the document
+	// (serialization uses it verbatim).
 	Name  string
 	Value string
-	// NameID is the Symbols ID of Name when the producer interns against a
-	// table (SymNone when it does not, SymUnknown when the name is not in
-	// the table). See Event.NameID.
+	// Prefix and Local are the namespace prefix (empty when none) and the
+	// local part of Name. Producers in this repository always populate
+	// Local; consumers use LocalName, which falls back to splitting Name
+	// for hand-built attrs.
+	Prefix string
+	Local  string
+	// NameID is the Symbols ID of the LOCAL name when the producer interns
+	// against a table (SymNone when it does not, SymUnknown when the name
+	// is not in the table). Namespace-declaration attributes (xmlns,
+	// xmlns:p) always carry SymUnknown: they are namespace machinery, not
+	// query-matchable data. See Event.NameID.
 	NameID int32
+}
+
+// LocalName returns the attribute's local name, splitting Name when the
+// producer did not populate Local.
+func (a *Attr) LocalName() string {
+	if a.Local != "" {
+		return a.Local
+	}
+	_, local := SplitName(a.Name)
+	return local
+}
+
+// IsNamespaceDecl reports whether the attribute is a namespace declaration
+// (xmlns="..." or xmlns:p="..."). Such attributes are preserved in Attrs so
+// fragments serialize faithfully, but they never match attribute name tests.
+func (a *Attr) IsNamespaceDecl() bool { return IsNamespaceDecl(a.Name) }
+
+// IsNamespaceDecl reports whether a lexical attribute name declares a
+// namespace.
+func IsNamespaceDecl(name string) bool {
+	return name == "xmlns" || (len(name) > 6 && name[:6] == "xmlns:")
+}
+
+// SplitName splits a lexical QName into its prefix and local part at the
+// first colon. Names without a colon have an empty prefix.
+func SplitName(name string) (prefix, local string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return "", name
+}
+
+// ClassifyBOM inspects the first bytes of a document for a byte-order mark.
+// It returns the number of leading bytes to skip (3 for the UTF-8 BOM, 0
+// otherwise) and, for the unsupported UTF-16/32 encodings, the encoding name
+// to report. Both front-ends share this table so they can never diverge on
+// BOM handling. UTF-32LE (FF FE 00 00) is checked before UTF-16LE (FF FE):
+// the 4-byte pattern can only be UTF-32 — a NUL character is not valid XML.
+func ClassifyBOM(head []byte) (skip int, unsupported string) {
+	switch {
+	case len(head) >= 3 && head[0] == 0xEF && head[1] == 0xBB && head[2] == 0xBF:
+		return 3, ""
+	case len(head) >= 4 && head[0] == 0x00 && head[1] == 0x00 && head[2] == 0xFE && head[3] == 0xFF:
+		return 0, "UTF-32"
+	case len(head) >= 4 && head[0] == 0xFF && head[1] == 0xFE && head[2] == 0x00 && head[3] == 0x00:
+		return 0, "UTF-32"
+	case len(head) >= 2 && (head[0] == 0xFE && head[1] == 0xFF || head[0] == 0xFF && head[1] == 0xFE):
+		return 0, "UTF-16"
+	}
+	return 0, ""
 }
 
 // Event is one unit of the stream. The same Event value is reused by
@@ -72,16 +134,25 @@ type Attr struct {
 // buffers).
 type Event struct {
 	Kind Kind
-	// Name is the element name for StartElement/EndElement. Namespace
-	// prefixes are preserved verbatim (ViteX predates namespace-aware
-	// matching; queries match the lexical QName).
+	// Name is the element name for StartElement/EndElement: the full
+	// lexical QName, prefix included, exactly as written (fragments
+	// serialize it verbatim).
 	Name string
-	// NameID is the Symbols ID of Name for StartElement/EndElement when the
-	// producer was constructed with a Symbols table: a positive ID for
-	// interned names, SymUnknown for names absent from the table, SymNone
-	// (the zero value) when the producer does not intern at all. Consumers
-	// compiled against the same table may dispatch on it directly; they
-	// must fall back to Name for SymNone.
+	// Prefix and Local split Name at its namespace colon (Prefix is empty
+	// for unprefixed names). Name tests match on the local name; a
+	// prefixed test additionally requires the prefix. Producers in this
+	// repository always populate Local; consumers use LocalName, which
+	// falls back to splitting Name for hand-built events. The encoding/xml
+	// adapter reconstructs the lexical prefix from the in-scope namespace
+	// declarations, so both front-ends agree.
+	Prefix string
+	Local  string
+	// NameID is the Symbols ID of the LOCAL name for
+	// StartElement/EndElement when the producer was constructed with a
+	// Symbols table: a positive ID for interned names, SymUnknown for names
+	// absent from the table, SymNone (the zero value) when the producer
+	// does not intern at all. Consumers compiled against the same table may
+	// dispatch on it directly; they must fall back to Name for SymNone.
 	NameID int32
 	// Depth is the element depth for StartElement/EndElement (root = 1)
 	// and the text-node depth (parent depth + 1) for Text.
@@ -94,6 +165,35 @@ type Event struct {
 	// Offset is the byte offset in the input at which the token that
 	// produced this event begins. Diagnostic only.
 	Offset int64
+}
+
+// LocalName returns the element's local name, splitting Name when the
+// producer did not populate Local.
+func (ev *Event) LocalName() string {
+	if ev.Local != "" {
+		return ev.Local
+	}
+	_, local := SplitName(ev.Name)
+	return local
+}
+
+// PrefixName returns the element's namespace prefix ("" when none),
+// splitting Name when the producer did not populate Local.
+func (ev *Event) PrefixName() string {
+	if ev.Local != "" {
+		return ev.Prefix
+	}
+	prefix, _ := SplitName(ev.Name)
+	return prefix
+}
+
+// PrefixName returns the attribute's namespace prefix ("" when none).
+func (a *Attr) PrefixName() string {
+	if a.Local != "" {
+		return a.Prefix
+	}
+	prefix, _ := SplitName(a.Name)
+	return prefix
 }
 
 // Handler consumes a stream of events. Returning a non-nil error aborts the

@@ -91,7 +91,7 @@ func TestStdDriverAttrs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(attrs) != 2 || attrs[0] != (Attr{Name: "x", Value: "1"}) || attrs[1] != (Attr{Name: "y", Value: "2&3"}) {
+	if len(attrs) != 2 || attrs[0] != (Attr{Name: "x", Value: "1", Local: "x"}) || attrs[1] != (Attr{Name: "y", Value: "2&3", Local: "y"}) {
 		t.Fatalf("attrs = %v", attrs)
 	}
 }

@@ -1,6 +1,7 @@
 package sax
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -9,43 +10,137 @@ import (
 
 // StdDriver adapts encoding/xml's token stream to the sax event model. It is
 // the reference front-end: internal/xmlscan is cross-checked against it in
-// tests, and benchmarks compare their throughput (the parse-time share of
-// experiment E1 depends on which front-end is used).
+// tests and the permanent differential harness, and benchmarks compare their
+// throughput (the parse-time share of experiment E1 depends on which
+// front-end is used).
+//
+// encoding/xml resolves namespace prefixes to URIs and reports names as
+// (URI, local). The sax model carries the lexical QName — name tests match
+// local names, and prefixed tests match the prefix as written — so the
+// driver tracks the in-scope xmlns declarations itself and maps each URI
+// back to the innermost prefix bound to it. Documents that bind two prefixes
+// to one URI in the same scope reconstruct to the innermost binding (a
+// documented approximation; see README "XML conformance").
 type StdDriver struct {
 	r        io.Reader
 	syms     *Symbols
 	interned map[string]int32
+	qnames   map[qnameKey]qname
+
+	// In-scope namespace bindings, innermost last, plus the number of
+	// bindings each open element declared (for popping at its end tag).
+	bindings   []nsBinding
+	declCounts []int
+}
+
+type nsBinding struct{ prefix, uri string }
+
+type qnameKey struct{ prefix, local string }
+
+// qname is a reconstructed lexical name: the full QName, its split, and the
+// local name's symbol ID.
+type qname struct {
+	name   string
+	prefix string
+	local  string
+	id     int32
 }
 
 // NewStdDriver returns a Driver backed by encoding/xml.
 func NewStdDriver(r io.Reader) *StdDriver { return &StdDriver{r: r} }
 
 // NewStdDriverWith returns a Driver backed by encoding/xml that resolves
-// element and attribute names against syms, so events carry the same NameIDs
-// the custom scanner would produce (keeps the UseStdParser ablation on the
-// same dispatch path).
+// element and attribute local names against syms, so events carry the same
+// NameIDs the custom scanner would produce (keeps the UseStdParser ablation
+// on the same dispatch path).
 func NewStdDriverWith(r io.Reader, syms *Symbols) *StdDriver {
 	return &StdDriver{r: r, syms: syms, interned: make(map[string]int32)}
 }
 
-// nameID resolves a name through the per-driver cache.
-func (d *StdDriver) nameID(name string) int32 {
+// nameID resolves a local name through the per-driver cache.
+func (d *StdDriver) nameID(local string) int32 {
 	if d.syms == nil {
 		return SymNone
 	}
-	if id, ok := d.interned[name]; ok {
+	if id, ok := d.interned[local]; ok {
 		return id
 	}
-	id := d.syms.ID(name)
-	d.interned[name] = id
+	id := d.syms.ID(local)
+	d.interned[local] = id
 	return id
+}
+
+// resolve reconstructs the lexical QName of an encoding/xml name. For
+// attributes the default namespace never applies, so only prefixed bindings
+// are consulted.
+func (d *StdDriver) resolve(n xml.Name, attr bool) qname {
+	prefix := ""
+	if n.Space != "" {
+		prefix = n.Space // undeclared prefixes pass through verbatim
+		for i := len(d.bindings) - 1; i >= 0; i-- {
+			b := d.bindings[i]
+			if b.uri != n.Space || (attr && b.prefix == "") {
+				continue
+			}
+			prefix = b.prefix
+			break
+		}
+	}
+	return d.makeName(prefix, n.Local)
+}
+
+// makeName builds (and caches) the joined lexical name for a prefix/local
+// pair together with its local-name symbol ID.
+func (d *StdDriver) makeName(prefix, local string) qname {
+	key := qnameKey{prefix, local}
+	if q, ok := d.qnames[key]; ok {
+		return q
+	}
+	q := qname{name: local, prefix: prefix, local: local}
+	if prefix != "" {
+		q.name = prefix + ":" + local
+	}
+	if IsNamespaceDecl(q.name) {
+		q.id = SymUnknown
+		if d.syms == nil {
+			q.id = SymNone
+		}
+	} else {
+		q.id = d.nameID(local)
+	}
+	if d.qnames == nil {
+		d.qnames = make(map[qnameKey]qname)
+	}
+	d.qnames[key] = q
+	return q
+}
+
+// skipBOM consumes a leading byte-order mark: the UTF-8 BOM is skipped (its
+// length is returned so event offsets keep counting raw input bytes, aligned
+// with the custom scanner), and UTF-16/32 BOMs are rejected with a clear
+// unsupported-encoding error instead of a tag-soup syntax error.
+func skipBOM(r io.Reader) (io.Reader, int64, error) {
+	var head [4]byte
+	n, err := io.ReadFull(r, head[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, 0, err
+	}
+	skip, unsupported := ClassifyBOM(head[:n])
+	if unsupported != "" {
+		return nil, 0, fmt.Errorf("sax: unsupported encoding: %s byte order mark (only UTF-8 input is supported)", unsupported)
+	}
+	return io.MultiReader(bytes.NewReader(head[skip:n]), r), int64(skip), nil
 }
 
 // Run implements Driver. Adjacent CharData tokens (encoding/xml splits
 // around CDATA boundaries and entity expansions in some cases) are coalesced
 // so that, like xmlscan, one Text event corresponds to one XPath text node.
 func (d *StdDriver) Run(h Handler) error {
-	dec := xml.NewDecoder(d.r)
+	r, base, err := skipBOM(d.r)
+	if err != nil {
+		return err
+	}
+	dec := xml.NewDecoder(r)
 	// Match xmlscan: no external entities; strictness left at default.
 	dec.Entity = map[string]string{}
 
@@ -78,7 +173,7 @@ func (d *StdDriver) Run(h Handler) error {
 		return err
 	}
 	for {
-		off := dec.InputOffset()
+		off := base + dec.InputOffset()
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
@@ -95,25 +190,62 @@ func (d *StdDriver) Run(h Handler) error {
 				return fmt.Errorf("sax: multiple root elements at byte %d", off)
 			}
 			depth++
+			// Register this element's xmlns declarations before
+			// resolving any name: they are in scope for the element
+			// itself.
+			decls := 0
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" {
+					d.bindings = append(d.bindings, nsBinding{prefix: a.Name.Local, uri: a.Value})
+					decls++
+				} else if a.Name.Space == "" && a.Name.Local == "xmlns" {
+					d.bindings = append(d.bindings, nsBinding{prefix: "", uri: a.Value})
+					decls++
+				}
+			}
+			d.declCounts = append(d.declCounts, decls)
 			attrs := make([]Attr, 0, len(t.Attr))
 			for _, a := range t.Attr {
-				an := qname(a.Name)
-				attrs = append(attrs, Attr{Name: an, Value: a.Value, NameID: d.nameID(an)})
+				var an qname
+				switch {
+				case a.Name.Space == "xmlns":
+					an = d.makeName("xmlns", a.Name.Local)
+				case a.Name.Space == "" && a.Name.Local == "xmlns":
+					an = d.makeName("", "xmlns")
+				default:
+					an = d.resolve(a.Name, true)
+				}
+				attrs = append(attrs, Attr{
+					Name: an.name, Value: a.Value,
+					Prefix: an.prefix, Local: an.local, NameID: an.id,
+				})
 			}
 			if len(attrs) == 0 {
 				attrs = nil
 			}
-			name := qname(t.Name)
-			if err := emit(Event{Kind: StartElement, Name: name, NameID: d.nameID(name), Depth: depth, Attrs: attrs, Offset: off}); err != nil {
+			name := d.resolve(t.Name, false)
+			if err := emit(Event{
+				Kind: StartElement, Name: name.name, Prefix: name.prefix, Local: name.local,
+				NameID: name.id, Depth: depth, Attrs: attrs, Offset: off,
+			}); err != nil {
 				return err
 			}
 		case xml.EndElement:
 			if err := flushText(); err != nil {
 				return err
 			}
-			name := qname(t.Name)
-			if err := emit(Event{Kind: EndElement, Name: name, NameID: d.nameID(name), Depth: depth, Offset: off}); err != nil {
+			// Resolve before popping: the element's own declarations
+			// are in scope for its end tag.
+			name := d.resolve(t.Name, false)
+			if err := emit(Event{
+				Kind: EndElement, Name: name.name, Prefix: name.prefix, Local: name.local,
+				NameID: name.id, Depth: depth, Offset: off,
+			}); err != nil {
 				return err
+			}
+			if n := len(d.declCounts); n > 0 {
+				d.bindings = d.bindings[:len(d.bindings)-d.declCounts[n-1]]
+				d.declCounts = d.declCounts[:n-1]
 			}
 			depth--
 			if depth == 0 {
@@ -125,12 +257,8 @@ func (d *StdDriver) Run(h Handler) error {
 			}
 			text.Write(t)
 		case xml.Comment, xml.ProcInst, xml.Directive:
-			// Markup boundaries do not split XPath text nodes in our
-			// model only when they are comments/PIs; to stay aligned
-			// with xmlscan (which coalesces across comments too,
-			// because flushText happens only before element tags)...
-			// xmlscan flushes text before *every* markup token, so
-			// comments DO split text runs there. Mirror that here.
+			// xmlscan flushes text before every markup token, so
+			// comments and PIs split text runs there. Mirror that here.
 			if err := flushText(); err != nil {
 				return err
 			}
@@ -145,15 +273,5 @@ func (d *StdDriver) Run(h Handler) error {
 	if !seenRoot {
 		return fmt.Errorf("sax: document has no root element")
 	}
-	return emit(Event{Kind: EndDocument, Offset: dec.InputOffset()})
-}
-
-func qname(n xml.Name) string {
-	if n.Space == "" {
-		return n.Local
-	}
-	// encoding/xml resolves prefixes to URIs; ViteX matches lexical names.
-	// Keep the local name, which matches xmlscan for non-namespaced input
-	// (the test corpora are namespace-free).
-	return n.Local
+	return emit(Event{Kind: EndDocument, Offset: base + dec.InputOffset()})
 }

@@ -55,10 +55,14 @@ type Program struct {
 
 // node is one machine node: a query node plus its compiled condition.
 type node struct {
-	id       int
-	kind     xpath.Kind
-	name     string
-	nameID   int32 // symbol ID of name (elements/attributes; 0 for "*")
+	id   int
+	kind xpath.Kind
+	name string // name test as written ("p:a" for prefixed tests)
+	// prefix/local split of the name test: matching is on the local name,
+	// with the prefix as an extra requirement when non-empty.
+	prefix   string
+	local    string
+	nameID   int32 // symbol ID of the LOCAL name (elements/attributes; 0 for "*")
 	axis     xpath.Axis
 	parent   *node
 	childIdx int // flag bit position in parent entries
@@ -174,26 +178,34 @@ func (p *Program) build(qn *xpath.Node, parent *node) (*node, error) {
 		id:       len(p.nodes),
 		kind:     qn.Kind,
 		name:     qn.Name,
+		prefix:   qn.Prefix,
+		local:    qn.Local,
 		axis:     qn.Axis,
 		parent:   parent,
 		spine:    qn.Spine,
 		isOutput: qn == p.query.Output,
 	}
-	p.nodes = append(p.nodes, m)
+	if m.kind != xpath.Text && m.local == "" && m.name != "" {
+		// Queries built without the parser (tests): split here.
+		m.prefix, m.local = sax.SplitName(m.name)
+	}
+	// Dispatch indexes are keyed by LOCAL name: name tests match the local
+	// part, and prefixed tests re-check the prefix at push time.
 	switch qn.Kind {
 	case xpath.Element:
 		if qn.Name == "*" {
 			p.wildElems = append(p.wildElems, m)
 		} else {
-			m.nameID = p.syms.Intern(qn.Name)
-			p.elemIndex[qn.Name] = append(p.elemIndex[qn.Name], m)
+			m.nameID = p.syms.Intern(m.local)
+			p.elemIndex[m.local] = append(p.elemIndex[m.local], m)
 		}
 	case xpath.Attribute:
-		m.nameID = p.syms.Intern(qn.Name)
-		p.attrIndex[qn.Name] = append(p.attrIndex[qn.Name], m)
+		m.nameID = p.syms.Intern(m.local)
+		p.attrIndex[m.local] = append(p.attrIndex[m.local], m)
 	case xpath.Text:
 		p.textNodes = append(p.textNodes, m)
 	}
+	p.nodes = append(p.nodes, m)
 
 	// Children: predicate-leaf heads first, then the chain continuation.
 	// Each child occupies one flag bit in this node's entries.

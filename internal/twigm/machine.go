@@ -210,6 +210,16 @@ func (r *Run) Stats() Stats { return r.stats }
 // to a run that saw every event.
 func (r *Run) SetClock(events int64) { r.stats.Events = events }
 
+// HandleRouted is the batch-feed entry point of routed dispatch (serial and
+// sharded): it delivers ev with the run's event clock pinned to the shared
+// scan's 1-based index for this event, so ConfirmedAt/DeliveredAt — and the
+// DeliveredAt stamped on results flushed by the ordered re-sequencer during
+// this delivery — are identical to a run that saw every event.
+func (r *Run) HandleRouted(ev *sax.Event, eventIndex int64) error {
+	r.stats.Events = eventIndex - 1
+	return r.HandleEvent(ev)
+}
+
 // LiveEntries reports the number of open stack entries. A machine with none
 // (and no active recording) has nothing to pop, so end-element events need
 // not be routed to it.
@@ -274,8 +284,9 @@ func (r *Run) fail(err error) {
 
 // ---- event dispatch ----
 
-// elemNodes resolves the element machine nodes matching the event's name:
-// a slice index when the event carries a symbol ID, the name map otherwise.
+// elemNodes resolves the element machine nodes whose LOCAL name matches the
+// event: a slice index when the event carries a symbol ID, the name map
+// otherwise. Prefixed name tests re-check their prefix in tryPush.
 func (r *Run) elemNodes(ev *sax.Event) []*node {
 	if id := ev.NameID; id != sax.SymNone {
 		if id > 0 && int(id) < len(r.prog.elemByID) {
@@ -283,10 +294,29 @@ func (r *Run) elemNodes(ev *sax.Event) []*node {
 		}
 		return nil
 	}
-	return r.prog.elemIndex[ev.Name]
+	return r.prog.elemIndex[ev.LocalName()]
 }
 
-// attrNodes resolves the attribute machine nodes matching an attribute.
+// nameMatches reports whether the event's element name satisfies m's name
+// test: wildcard, or equal local names (by symbol ID when both sides carry
+// one) plus an equal prefix when the test is prefixed.
+func nameMatches(m *node, ev *sax.Event) bool {
+	if m.name == "*" {
+		return true
+	}
+	if m.nameID != sax.SymNone && ev.NameID != sax.SymNone {
+		if m.nameID != ev.NameID {
+			return false
+		}
+	} else if m.local != ev.LocalName() {
+		return false
+	}
+	return m.prefix == "" || m.prefix == ev.PrefixName()
+}
+
+// attrNodes resolves the attribute machine nodes whose LOCAL name matches
+// the attribute. Callers must still filter with attrMatches (prefix tests,
+// namespace declarations).
 func (r *Run) attrNodes(a *sax.Attr) []*node {
 	if id := a.NameID; id != sax.SymNone {
 		if id > 0 && int(id) < len(r.prog.attrByID) {
@@ -294,15 +324,24 @@ func (r *Run) attrNodes(a *sax.Attr) []*node {
 		}
 		return nil
 	}
-	return r.prog.attrIndex[a.Name]
+	return r.prog.attrIndex[a.LocalName()]
 }
 
-// attrMatches reports whether attribute a is the one machine node m names.
+// attrMatches reports whether attribute a is one machine node m names.
+// Namespace declarations (xmlns, xmlns:p) never match: they are namespace
+// machinery, not data.
 func attrMatches(a *sax.Attr, m *node) bool {
-	if a.NameID != sax.SymNone && m.nameID != sax.SymNone {
-		return a.NameID == m.nameID
+	if a.IsNamespaceDecl() {
+		return false
 	}
-	return a.Name == m.name
+	if a.NameID != sax.SymNone && m.nameID != sax.SymNone {
+		if a.NameID != m.nameID {
+			return false
+		}
+	} else if a.LocalName() != m.local {
+		return false
+	}
+	return m.prefix == "" || m.prefix == a.PrefixName()
 }
 
 // ---- event processing ----
@@ -328,6 +367,9 @@ func (r *Run) startElement(ev *sax.Event) {
 	for ai := range ev.Attrs {
 		a := &ev.Attrs[ai]
 		for _, m := range r.attrNodes(a) {
+			if !attrMatches(a, m) {
+				continue
+			}
 			r.attrEvent(m, a.Value, ai, ev)
 		}
 	}
@@ -347,7 +389,7 @@ func (r *Run) startElement(ev *sax.Event) {
 // tryPush pushes an entry for element machine node m if the event satisfies
 // m's name test and axis.
 func (r *Run) tryPush(m *node, ev *sax.Event) {
-	if m.name != "*" && m.name != ev.Name {
+	if !nameMatches(m, ev) {
 		return
 	}
 	d := ev.Depth

@@ -53,6 +53,9 @@ type Scanner struct {
 	// seenRoot records that the root element has closed.
 	seenRoot bool
 	started  bool
+	// bomChecked records that the leading byte-order mark, if any, has
+	// been handled (UTF-8 BOM skipped, UTF-16/32 BOMs rejected).
+	bomChecked bool
 	// syms resolves names to shared symbol IDs (nil: events carry
 	// sax.SymNone). interned caches the resolution per distinct name for
 	// the scanner's lifetime (bounded by maxNameCacheEntries), so each
@@ -69,12 +72,15 @@ type Scanner struct {
 	entities map[string]string
 }
 
-// symEntry is one intern-cache slot: the canonical string for a name and its
-// symbol ID (sax.SymNone without a table, sax.SymUnknown for names the table
-// does not contain).
+// symEntry is one intern-cache slot: the canonical string for a name, its
+// prefix/local split, and the symbol ID of the LOCAL part (sax.SymNone
+// without a table, sax.SymUnknown for locals the table does not contain and
+// for namespace-declaration attribute names).
 type symEntry struct {
-	name string
-	id   int32
+	name   string
+	prefix string
+	local  string
+	id     int32
 }
 
 // Entity-expansion guards: nesting depth and total expanded size, the
@@ -135,26 +141,35 @@ func (s *Scanner) Reset(r io.Reader) {
 	s.attrs = s.attrs[:0]
 	s.seenRoot = false
 	s.started = false
+	s.bomChecked = false
 	s.entities = nil
 }
 
-// intern resolves a name's canonical string and symbol ID through the
-// per-scanner cache (bounded; retained across Reset so recurring feed
-// vocabulary costs one allocation and one table lookup per scanner, not per
-// occurrence). The map lookup on string(b) does not allocate.
-func (s *Scanner) intern(b []byte) (string, int32) {
+// intern resolves a name's canonical string, QName split and symbol ID
+// through the per-scanner cache (bounded; retained across Reset so recurring
+// feed vocabulary costs one allocation and one table lookup per scanner, not
+// per occurrence). The map lookup on string(b) does not allocate. The symbol
+// ID is that of the local name — name tests match locals — except for
+// namespace-declaration attribute names, which get sax.SymUnknown so they
+// never route.
+func (s *Scanner) intern(b []byte) symEntry {
 	if e, ok := s.interned[string(b)]; ok {
-		return e.name, e.id
+		return e
 	}
 	name := string(b)
-	id := sax.SymNone
+	prefix, local := sax.SplitName(name)
+	e := symEntry{name: name, prefix: prefix, local: local, id: sax.SymNone}
 	if s.syms != nil {
-		id = s.syms.ID(name)
+		if sax.IsNamespaceDecl(name) {
+			e.id = sax.SymUnknown
+		} else {
+			e.id = s.syms.ID(local)
+		}
 	}
 	if len(s.interned) < maxNameCacheEntries {
-		s.interned[name] = symEntry{name: name, id: id}
+		s.interned[name] = e
 	}
-	return name, id
+	return e
 }
 
 // internText materializes a character-data run as a string, deduplicating
@@ -219,9 +234,31 @@ func (s *Scanner) Run(h sax.Handler) error {
 	return s.emit(h, sax.EndDocument, "", 0, "", nil, s.off)
 }
 
+// skipBOM handles a leading byte-order mark: a UTF-8 BOM (ubiquitous in
+// real-world feeds) is consumed — byte offsets keep counting it, so node
+// offsets stay positions in the raw input — while UTF-16/32 BOMs are
+// rejected with a clear unsupported-encoding error instead of the tag-soup
+// syntax error the bytes would otherwise produce.
+func (s *Scanner) skipBOM() error {
+	s.bomChecked = true
+	for s.end-s.pos < 4 && s.fill() {
+	}
+	skip, unsupported := sax.ClassifyBOM(s.buf[s.pos:s.end])
+	if unsupported != "" {
+		return s.syntaxf(0, "unsupported encoding: %s byte order mark (only UTF-8 input is supported)", unsupported)
+	}
+	s.advance(skip)
+	return nil
+}
+
 // step consumes one token (tag, comment, PI, text run boundary). It returns
 // done=true at clean EOF.
 func (s *Scanner) step(h sax.Handler) (bool, error) {
+	if !s.bomChecked {
+		if err := s.skipBOM(); err != nil {
+			return false, err
+		}
+	}
 	c, ok := s.peek()
 	if !ok {
 		if err := s.flushText(h); err != nil {
@@ -370,18 +407,18 @@ func (s *Scanner) readNameBytes() ([]byte, error) {
 
 // readName scans an XML Name, returning its interned string.
 func (s *Scanner) readName() (string, error) {
-	name, _, err := s.readNameID()
-	return name, err
+	e, err := s.readNameID()
+	return e.name, err
 }
 
-// readNameID scans an XML Name, returning its interned string and symbol ID.
-func (s *Scanner) readNameID() (string, int32, error) {
+// readNameID scans an XML Name, returning its interned cache entry (canonical
+// string, prefix/local split, local-name symbol ID).
+func (s *Scanner) readNameID() (symEntry, error) {
 	b, err := s.readNameBytes()
 	if err != nil {
-		return "", sax.SymNone, err
+		return symEntry{}, err
 	}
-	name, id := s.intern(b)
-	return name, id, nil
+	return s.intern(b), nil
 }
 
 // expect consumes the literal lit or fails.
@@ -402,7 +439,9 @@ func (s *Scanner) expect(lit string) error {
 
 // scanText accumulates character data up to the next '<'. Entity and
 // character references are resolved inline; CDATA sections are merged by the
-// caller loop (scanBang appends to s.text).
+// caller loop (scanBang appends to s.text). Literal line endings are
+// normalized per XML 1.0 §2.11 ("\r\n" and lone "\r" become "\n"); character
+// references like &#13; are exempt, matching encoding/xml.
 func (s *Scanner) scanText() error {
 	if len(s.text) == 0 {
 		s.textAt = s.off
@@ -418,6 +457,14 @@ func (s *Scanner) scanText() error {
 				return err
 			}
 			s.text = append(s.text, r...)
+			continue
+		}
+		if c == '\r' {
+			s.advance(1)
+			if n, ok := s.peek(); ok && n == '\n' {
+				s.advance(1)
+			}
+			s.text = append(s.text, '\n')
 			continue
 		}
 		if c == '>' {
@@ -628,7 +675,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 	if s.seenRoot && s.depth == 0 {
 		return s.syntaxf(start, "multiple root elements")
 	}
-	name, nameID, err := s.readNameID()
+	name, err := s.readNameID()
 	if err != nil {
 		return err
 	}
@@ -638,7 +685,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 		s.skipSpace()
 		c, ok := s.peek()
 		if !ok {
-			return s.syntaxf(start, "unexpected EOF in tag <%s>", name)
+			return s.syntaxf(start, "unexpected EOF in tag <%s>", name.name)
 		}
 		if c == '>' {
 			s.advance(1)
@@ -652,7 +699,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 			selfClose = true
 			break
 		}
-		aname, aid, err := s.readNameID()
+		aname, err := s.readNameID()
 		if err != nil {
 			return err
 		}
@@ -666,23 +713,26 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 			return err
 		}
 		for i := range s.attrs {
-			if s.attrs[i].Name == aname {
-				return s.syntaxf(start, "duplicate attribute %q in <%s>", aname, name)
+			if s.attrs[i].Name == aname.name {
+				return s.syntaxf(start, "duplicate attribute %q in <%s>", aname.name, name.name)
 			}
 		}
-		s.attrs = append(s.attrs, sax.Attr{Name: aname, Value: aval, NameID: aid})
+		s.attrs = append(s.attrs, sax.Attr{
+			Name: aname.name, Value: aval,
+			Prefix: aname.prefix, Local: aname.local, NameID: aname.id,
+		})
 	}
 	s.depth++
-	s.stack = append(s.stack, name)
+	s.stack = append(s.stack, name.name)
 	var evAttrs []sax.Attr
 	if len(s.attrs) > 0 {
 		evAttrs = s.attrs
 	}
-	if err := s.emitTag(h, sax.StartElement, name, nameID, s.depth, evAttrs, start); err != nil {
+	if err := s.emitTag(h, sax.StartElement, name, s.depth, evAttrs, start); err != nil {
 		return err
 	}
 	if selfClose {
-		if err := s.emitTag(h, sax.EndElement, name, nameID, s.depth, nil, start); err != nil {
+		if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
 			return err
 		}
 		s.closeElement()
@@ -720,6 +770,16 @@ func (s *Scanner) scanAttrValue() (string, error) {
 			s.valBuf = append(s.valBuf, r...)
 			continue
 		}
+		if c == '\r' {
+			// Line-ending normalization applies inside attribute
+			// values too (XML 1.0 §2.11, matching encoding/xml).
+			s.advance(1)
+			if n, ok := s.peek(); ok && n == '\n' {
+				s.advance(1)
+			}
+			s.valBuf = append(s.valBuf, '\n')
+			continue
+		}
 		s.valBuf = append(s.valBuf, c)
 		s.advance(1)
 	}
@@ -727,7 +787,7 @@ func (s *Scanner) scanAttrValue() (string, error) {
 
 // scanEndTag parses "</name>" with "</" already consumed.
 func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
-	name, nameID, err := s.readNameID()
+	name, err := s.readNameID()
 	if err != nil {
 		return err
 	}
@@ -736,13 +796,13 @@ func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
 		return err
 	}
 	if s.depth == 0 {
-		return s.syntaxf(start, "unmatched end tag </%s>", name)
+		return s.syntaxf(start, "unmatched end tag </%s>", name.name)
 	}
 	open := s.stack[len(s.stack)-1]
-	if open != name {
-		return s.syntaxf(start, "mismatched end tag: </%s> closes <%s>", name, open)
+	if open != name.name {
+		return s.syntaxf(start, "mismatched end tag: </%s> closes <%s>", name.name, open)
 	}
-	if err := s.emitTag(h, sax.EndElement, name, nameID, s.depth, nil, start); err != nil {
+	if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
 		return err
 	}
 	s.closeElement()
@@ -834,6 +894,7 @@ func (s *Scanner) scanCDATA(start int64) error {
 		s.textAt = start
 	}
 	var p1, p2 byte
+	prevCR := false
 	for {
 		c, ok := s.readByte()
 		if !ok {
@@ -842,9 +903,19 @@ func (s *Scanner) scanCDATA(start int64) error {
 		if p1 == ']' && p2 == ']' && c == '>' {
 			return nil
 		}
-		// p1 leaves the window; it is confirmed CDATA content.
+		// p1 leaves the window; it is confirmed CDATA content. Line
+		// endings normalize here too (XML 1.0 §2.11).
 		if p1 != 0 {
-			s.text = append(s.text, p1)
+			switch {
+			case p1 == '\r':
+				s.text = append(s.text, '\n')
+				prevCR = true
+			case p1 == '\n' && prevCR:
+				prevCR = false
+			default:
+				s.text = append(s.text, p1)
+				prevCR = false
+			}
 		}
 		p1, p2 = p2, c
 	}
@@ -998,8 +1069,12 @@ func (s *Scanner) emit(h sax.Handler, k sax.Kind, name string, depth int, text s
 	return h.HandleEvent(&s.event)
 }
 
-// emitTag delivers a start/end-element event carrying the name's symbol ID.
-func (s *Scanner) emitTag(h sax.Handler, k sax.Kind, name string, id int32, depth int, attrs []sax.Attr, off int64) error {
-	s.event = sax.Event{Kind: k, Name: name, NameID: id, Depth: depth, Attrs: attrs, Offset: off}
+// emitTag delivers a start/end-element event carrying the name's QName split
+// and local-name symbol ID.
+func (s *Scanner) emitTag(h sax.Handler, k sax.Kind, name symEntry, depth int, attrs []sax.Attr, off int64) error {
+	s.event = sax.Event{
+		Kind: k, Name: name.name, Prefix: name.prefix, Local: name.local,
+		NameID: name.id, Depth: depth, Attrs: attrs, Offset: off,
+	}
 	return h.HandleEvent(&s.event)
 }

@@ -357,3 +357,106 @@ func TestPaperFigure1(t *testing.T) {
 		}
 	}
 }
+
+// collectText parses doc and returns every Text event's content.
+func collectText(t *testing.T, doc string) []string {
+	t.Helper()
+	var out []string
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		if ev.Kind == sax.Text {
+			out = append(out, ev.Text)
+		}
+		return nil
+	})
+	if err := NewScanner(strings.NewReader(doc)).Run(h); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestUTF8BOMSkipped(t *testing.T) {
+	got := collectText(t, "\xEF\xBB\xBF<r>x</r>")
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("text = %q", got)
+	}
+	// A reused scanner re-checks the BOM per document.
+	s := NewScanner(strings.NewReader("\xEF\xBB\xBF<r>a</r>"))
+	nop := sax.HandlerFunc(func(*sax.Event) error { return nil })
+	if err := s.Run(nop); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset(strings.NewReader("\xEF\xBB\xBF<r>b</r>"))
+	if err := s.Run(nop); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestUTF16BOMRejected(t *testing.T) {
+	for name, doc := range map[string]string{
+		"UTF-16BE": "\xFE\xFF\x00<\x00r",
+		"UTF-16LE": "\xFF\xFE<\x00r\x00",
+		"UTF-32BE": "\x00\x00\xFE\xFF\x00\x00\x00<",
+	} {
+		err := NewScanner(strings.NewReader(doc)).Run(sax.HandlerFunc(func(*sax.Event) error { return nil }))
+		if err == nil || !strings.Contains(err.Error(), "unsupported encoding") {
+			t.Errorf("%s: err = %v, want unsupported-encoding error", name, err)
+		}
+	}
+}
+
+func TestLineEndingNormalization(t *testing.T) {
+	// XML 1.0 §2.11: \r\n and lone \r normalize to \n in text, CDATA and
+	// attribute values; character references are exempt.
+	got := collectText(t, "<r>a\r\nb\rc<![CDATA[d\r\ne\rf]]>\rg&#13;h</r>")
+	want := []string{"a\nb\ncd\ne\nf\ng\rh"}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("text = %q, want %q", got, want)
+	}
+	var attr string
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		if ev.Kind == sax.StartElement && len(ev.Attrs) > 0 {
+			attr = ev.Attrs[0].Value
+		}
+		return nil
+	})
+	if err := NewScanner(strings.NewReader("<r k='a\r\nb\rc&#13;d'/>")).Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if attr != "a\nb\nc\rd" {
+		t.Fatalf("attr = %q", attr)
+	}
+}
+
+func TestQNameSplitOnEvents(t *testing.T) {
+	type rec struct {
+		name, prefix, local string
+		id                  int32
+	}
+	var elems []rec
+	var attrs []rec
+	h := sax.HandlerFunc(func(ev *sax.Event) error {
+		if ev.Kind == sax.StartElement {
+			elems = append(elems, rec{ev.Name, ev.Prefix, ev.Local, ev.NameID})
+			for i := range ev.Attrs {
+				a := &ev.Attrs[i]
+				attrs = append(attrs, rec{a.Name, a.Prefix, a.Local, a.NameID})
+			}
+		}
+		return nil
+	})
+	syms := sax.NewSymbols()
+	aID := syms.Intern("a")
+	kID := syms.Intern("k")
+	doc := `<r xmlns:p='u'><p:a p:k='1' k='2'/></r>`
+	if err := NewScannerWith(strings.NewReader(doc), syms).Run(h); err != nil {
+		t.Fatal(err)
+	}
+	wantElems := []rec{{"r", "", "r", sax.SymUnknown}, {"p:a", "p", "a", aID}}
+	wantAttrs := []rec{{"xmlns:p", "xmlns", "p", sax.SymUnknown}, {"p:k", "p", "k", kID}, {"k", "", "k", kID}}
+	if fmt.Sprint(elems) != fmt.Sprint(wantElems) {
+		t.Fatalf("elems = %v, want %v", elems, wantElems)
+	}
+	if fmt.Sprint(attrs) != fmt.Sprint(wantAttrs) {
+		t.Fatalf("attrs = %v, want %v", attrs, wantAttrs)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/sax"
 )
 
 // Axis is the relationship between a query node and its parent query node.
@@ -176,10 +178,15 @@ type PredExpr struct {
 // is nil.
 type Node struct {
 	Kind Kind
-	// Name is the element or attribute name; "*" for the wildcard;
-	// unused for text().
+	// Name is the element or attribute name test as written ("p:a" for a
+	// prefixed test); "*" for the wildcard; unused for text().
 	Name string
-	Axis Axis
+	// Prefix and Local split Name at its namespace colon. A name test
+	// matches nodes whose local name equals Local; when Prefix is
+	// non-empty the node's lexical prefix must also equal Prefix.
+	Prefix string
+	Local  string
+	Axis   Axis
 	// Next is the continuation of this node's path chain, if any.
 	Next *Node
 	// Pred is this node's predicate expression, nil when there are no
@@ -205,9 +212,25 @@ type Query struct {
 // Wildcard reports whether n matches every element name.
 func (n *Node) Wildcard() bool { return n.Kind == Element && n.Name == "*" }
 
-// Matches reports whether an element name satisfies this node's name test.
-// Only meaningful for Element nodes.
-func (n *Node) Matches(name string) bool { return n.Name == "*" || n.Name == name }
+// Matches reports whether a lexical QName satisfies this node's name test:
+// the wildcard matches everything; otherwise local names must agree, and a
+// prefixed test additionally requires the name's prefix. Only meaningful for
+// Element and Attribute nodes.
+func (n *Node) Matches(name string) bool {
+	if n.Name == "*" {
+		return true
+	}
+	tp, tl := n.Prefix, n.Local
+	if tl == "" && n.Name != "" {
+		// Node built without the parser: split on demand.
+		tp, tl = sax.SplitName(n.Name)
+	}
+	prefix, local := sax.SplitName(name)
+	if tl != local {
+		return false
+	}
+	return tp == "" || tp == prefix
+}
 
 // Size returns the number of query nodes in the subtree rooted at n,
 // including nodes reached through predicates — the |Q| of the paper's

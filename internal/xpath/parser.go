@@ -1,5 +1,7 @@
 package xpath
 
+import "strings"
+
 // Parse compiles an XPath query in XP{/,//,*,[]} into a Query tree. It is
 // the entry point of the "XPath parser" module of the ViteX architecture.
 // Union expressions ('p1 | p2') are rejected here; use ParseUnion.
@@ -127,9 +129,12 @@ func (p *parser) parseStep(axis Axis) (*Node, error) {
 			return nil, p.errHere("expected attribute name after '@', found %s", p.tok.kind)
 		}
 		n := &Node{Kind: Attribute, Name: p.tok.text, Axis: axis}
+		if err := splitQName(n, &p.lex, p.tok.pos); err != nil {
+			return nil, err
+		}
 		return n, p.advance()
 	case tokStar:
-		n := &Node{Kind: Element, Name: "*", Axis: axis}
+		n := &Node{Kind: Element, Name: "*", Local: "*", Axis: axis}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -156,10 +161,29 @@ func (p *parser) parseStep(axis Axis) (*Node, error) {
 			return &Node{Kind: Text, Axis: axis}, nil
 		}
 		n := &Node{Kind: Element, Name: name, Axis: axis}
+		if err := splitQName(n, &p.lex, pos); err != nil {
+			return nil, err
+		}
 		return p.parsePredicates(n)
 	default:
 		return nil, p.errHere("expected a step, found %s", p.tok.kind)
 	}
+}
+
+// splitQName fills in n's Prefix/Local from its Name, rejecting malformed
+// QNames (empty prefix or local part, more than one colon).
+func splitQName(n *Node, l *lexer, pos int) error {
+	name := n.Name
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		n.Local = name
+		return nil
+	}
+	if i == 0 || i == len(name)-1 || strings.IndexByte(name[i+1:], ':') >= 0 {
+		return l.errf(pos, "malformed QName %q", name)
+	}
+	n.Prefix, n.Local = name[:i], name[i+1:]
+	return nil
 }
 
 // parsePredicates attaches zero or more bracket expressions to n, combining

@@ -259,3 +259,45 @@ func TestSizeCountsPredicateSubtrees(t *testing.T) {
 		t.Fatalf("Size = %d, want 5", got)
 	}
 }
+
+func TestPrefixedNameTests(t *testing.T) {
+	q := MustParse("//p:a[@n:k]/b")
+	if q.Root.Name != "p:a" || q.Root.Prefix != "p" || q.Root.Local != "a" {
+		t.Fatalf("root = %+v", q.Root)
+	}
+	attr := q.Root.Pred.Leaf
+	if attr.Name != "n:k" || attr.Prefix != "n" || attr.Local != "k" {
+		t.Fatalf("attr = %+v", attr)
+	}
+	if b := q.Root.Next; b.Prefix != "" || b.Local != "b" {
+		t.Fatalf("b = %+v", b)
+	}
+	if q.String() != "//p:a[n:k]/b" && q.String() != "//p:a[@n:k]/b" {
+		t.Fatalf("String() = %q", q.String())
+	}
+	for _, bad := range []string{"//:a", "//p:", "//p:a:b", "//x[@:k]"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestNameTestMatchesLocalAndPrefix(t *testing.T) {
+	a := MustParse("//a").Root
+	pa := MustParse("//p:a").Root
+	star := MustParse("//*").Root
+	cases := []struct {
+		n    *Node
+		name string
+		want bool
+	}{
+		{a, "a", true}, {a, "p:a", true}, {a, "b", false}, {a, "p:b", false},
+		{pa, "p:a", true}, {pa, "a", false}, {pa, "q:a", false},
+		{star, "anything", true}, {star, "p:x", true},
+	}
+	for _, c := range cases {
+		if got := c.n.Matches(c.name); got != c.want {
+			t.Errorf("%s.Matches(%q) = %v, want %v", c.n.Name, c.name, got, c.want)
+		}
+	}
+}

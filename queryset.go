@@ -18,7 +18,11 @@ import (
 // tests mention it, so the per-event cost is proportional to the number of
 // interested queries, not the size of the set. Evaluation state is pooled:
 // a long-lived QuerySet serving a stream of documents reuses its machines,
-// scanner and buffers with near-zero steady-state allocation.
+// scanner and buffers with near-zero steady-state allocation. With
+// Options.Parallel the machines are sharded over worker goroutines and the
+// per-shard results merged back into the exact serial emission order, so a
+// large standing set saturates every core without changing a single byte of
+// output.
 //
 // A QuerySet is safe for concurrent Stream calls; Add must not race with
 // them.
@@ -153,7 +157,7 @@ func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error
 			return emit(SetResult{QueryIndex: qi, Result: Result(tr)})
 		}
 	}
-	mstats, err := eng.Stream(r, opts.UseStdParser, topts)
+	mstats, err := streamEngine(eng, r, opts, topts)
 	stats := make([]Stats, nq)
 	next := 0
 	for qi := range stats {

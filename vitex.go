@@ -30,7 +30,10 @@
 // an event actually concerns — not O(N) per event. Machine state, scanner
 // buffers and dispatch sets are pooled and reused across documents, so a
 // long-lived Query or QuerySet streams with near-zero steady-state
-// allocation.
+// allocation. Options.Parallel shards the machines over N worker goroutines
+// fed from one batching scan, with results re-merged into the exact serial
+// emission order — large standing sets saturate every core while staying
+// byte-identical to a serial run.
 //
 // Quick start:
 //
@@ -96,6 +99,14 @@ type Options struct {
 	// (cross-checking and parser-share ablations; roughly 5-10x slower
 	// on tag-dense input).
 	UseStdParser bool
+	// Parallel selects sharded multi-core evaluation: 0 or 1 evaluates
+	// serially on the calling goroutine, N > 1 spreads the machines over N
+	// worker goroutines, and a negative value uses GOMAXPROCS workers.
+	// Results, Seq numbers, ConfirmedAt/DeliveredAt clocks and emission
+	// order are byte-identical to serial evaluation; Emit callbacks are
+	// always invoked sequentially from the calling goroutine. Worth it for
+	// large standing query sets; a single machine always runs serially.
+	Parallel int
 	// Trace, when non-nil, receives a human-readable log of every TwigM
 	// transition — stack pushes and pops, flag propagations, candidate
 	// lifecycle and emissions. The demonstration view of the system;
@@ -197,10 +208,19 @@ func (q *Query) Stream(r io.Reader, opts Options, emit func(Result) error) (Stat
 				return emit(Result(tr))
 			}
 		}
-		stats, err := q.eng.Stream(r, opts.UseStdParser, []twigm.Options{topts})
+		stats, err := streamEngine(q.eng, r, opts, []twigm.Options{topts})
 		return stats[0], err
 	}
 	return q.streamUnion(r, opts, emit)
+}
+
+// streamEngine dispatches to the serial or parallel engine entry point per
+// Options.Parallel.
+func streamEngine(eng *engine.Engine, r io.Reader, opts Options, topts []twigm.Options) ([]twigm.Stats, error) {
+	if opts.Parallel != 0 && opts.Parallel != 1 {
+		return eng.StreamParallel(r, opts.UseStdParser, topts, opts.Parallel)
+	}
+	return eng.Stream(r, opts.UseStdParser, topts)
 }
 
 // streamUnion evaluates one machine per branch over the shared scan
@@ -230,7 +250,7 @@ func (q *Query) streamUnion(r io.Reader, opts Options, emit func(Result) error) 
 			return nil
 		}
 	}
-	branchStats, err := q.eng.Stream(r, opts.UseStdParser, topts)
+	branchStats, err := streamEngine(q.eng, r, opts, topts)
 	stats := engine.MergeStats(branchStats)
 	if err != nil {
 		return stats, err
