@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/dom"
+	"repro/internal/engine"
 	"repro/internal/naive"
 	"repro/internal/sax"
 	"repro/internal/twigm"
@@ -386,6 +387,53 @@ func BenchmarkQuerySetParallel(b *testing.B) {
 	})
 	b.Run(fmt.Sprintf("parallel%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
 		run(b, Options{CountOnly: true, Parallel: -1})
+	})
+}
+
+// BenchmarkQuerySetChurn measures subscription churn on a live 100-query
+// standing set: the incremental arm mutates the set in place (Add one
+// pre-compiled query, then Remove it — two epoch publications, one machine
+// compilation), while the recompile arm reproduces the pre-epoch behaviour
+// of a mutation: rebuild the whole shared engine from the 101 parsed
+// queries. The incremental path must be at least 10x cheaper at this size
+// (it is typically two orders of magnitude; TestChurnCheaperThanRecompile
+// asserts the floor).
+func BenchmarkQuerySetChurn(b *testing.B) {
+	sources := datagen.SparseTickerQueries(10, 90)
+	extra := MustCompile("//trade[symbol='CHURNX']/price")
+	b.Run("incrementalAdd", func(b *testing.B) {
+		qs, err := NewQuerySet(sources...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx, err := qs.Add(extra)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := qs.Remove(idx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullRecompile", func(b *testing.B) {
+		parsed := make([]*xpath.Query, 0, len(sources)+1)
+		for _, src := range append(append([]string(nil), sources...), extra.Source()) {
+			qs, err := xpath.ParseUnion(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parsed = append(parsed, qs...)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.New(parsed...); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

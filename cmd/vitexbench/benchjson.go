@@ -45,6 +45,7 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 
 	single := vitex.MustCompile("//trade[symbol='ACME']/price")
 	sparse := datagen.SparseTickerQueries(10, 90)
+	churnQuery := vitex.MustCompile("//trade[symbol='ACME']/volume")
 
 	type workload struct {
 		name    string
@@ -103,6 +104,22 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 		// where sharding falls back to the serial path).
 		{"queryset_100_parallel", 100, parWorkers,
 			setRunnerOpts(qs100, vitex.Options{CountOnly: true, Parallel: parWorkers})},
+		// Live subscription churn: each op adds one standing query to the
+		// 100-query set, serves a document with the grown set, and removes
+		// the query again. Compare ns_per_event against queryset_100: the
+		// gap is the whole cost of continuous churn on a serving set
+		// (incremental compile + epoch publication + session resync).
+		{"queryset_churn", 100, 0, func() (int64, int, int64, error) {
+			idx, err := qs100.Add(churnQuery)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			events, peak, results, err := setRunner(qs100)()
+			if rerr := qs100.Remove(idx); rerr != nil && err == nil {
+				err = rerr
+			}
+			return events, peak, results, err
+		}},
 	}
 
 	for _, w := range workloads {

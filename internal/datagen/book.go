@@ -105,6 +105,11 @@ type RandomTree struct {
 	Attrs    []string
 	// Texts is the text alphabet (short values so comparisons hit).
 	Texts []string
+	// SelfNestProb, when positive, is the probability that a child element
+	// repeats its parent's label — the recursive chains (a inside a inside
+	// a) that make descendant-axis pattern-match counts explode. Zero keeps
+	// the label choice uniform (and the stream of a seeded rng unchanged).
+	SelfNestProb float64
 }
 
 // DefaultRandomTree is tuned for the cross-engine property tests: four
@@ -122,12 +127,15 @@ var DefaultRandomTree = RandomTree{
 // Generate renders one random document.
 func (rt RandomTree) Generate(rng *rand.Rand) string {
 	var sb strings.Builder
-	rt.element(&sb, rng, 1)
+	rt.element(&sb, rng, 1, "")
 	return sb.String()
 }
 
-func (rt RandomTree) element(sb *strings.Builder, rng *rand.Rand, depth int) {
+func (rt RandomTree) element(sb *strings.Builder, rng *rand.Rand, depth int, parent string) {
 	label := rt.Labels[rng.Intn(len(rt.Labels))]
+	if rt.SelfNestProb > 0 && parent != "" && rng.Float64() < rt.SelfNestProb {
+		label = parent
+	}
 	sb.WriteString("<" + label)
 	if rng.Float64() < rt.AttrProb {
 		attr := rt.Attrs[rng.Intn(len(rt.Attrs))]
@@ -146,7 +154,7 @@ func (rt RandomTree) element(sb *strings.Builder, rng *rand.Rand, depth int) {
 		sb.WriteString(rt.Texts[rng.Intn(len(rt.Texts))])
 	}
 	for i := 0; i < kids; i++ {
-		rt.element(sb, rng, depth+1)
+		rt.element(sb, rng, depth+1, label)
 		if rng.Float64() < rt.TextProb/2 {
 			sb.WriteString(rt.Texts[rng.Intn(len(rt.Texts))])
 		}

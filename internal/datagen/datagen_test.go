@@ -124,6 +124,73 @@ func TestRandomTreeWellFormed(t *testing.T) {
 	}
 }
 
+func TestChurnRandomTreeWellFormedAndDeterministic(t *testing.T) {
+	a := ChurnRandomTree.Generate(rand.New(rand.NewSource(11)))
+	b := ChurnRandomTree.Generate(rand.New(rand.NewSource(11)))
+	if a != b {
+		t.Fatal("seeded generation not reproducible")
+	}
+	rng := rand.New(rand.NewSource(42))
+	selfNested := 0
+	for i := 0; i < 200; i++ {
+		doc := ChurnRandomTree.Generate(rng)
+		wellFormed(t, doc)
+		for _, l := range ChurnRandomTree.Labels {
+			if strings.Contains(doc, "<"+l+"><"+l+">") {
+				selfNested++
+				break
+			}
+		}
+	}
+	// The self-nesting bias must actually produce recursive label chains.
+	if selfNested < 20 {
+		t.Fatalf("only %d/200 documents had directly self-nested labels", selfNested)
+	}
+}
+
+func TestQueryGenDeterministicAndShaped(t *testing.T) {
+	g := DefaultQueryGen
+	a := g.Generate(rand.New(rand.NewSource(5)))
+	b := g.Generate(rand.New(rand.NewSource(5)))
+	if a != b {
+		t.Fatal("seeded generation not reproducible")
+	}
+	rng := rand.New(rand.NewSource(42))
+	unions, preds, ors := 0, 0, 0
+	for i := 0; i < 500; i++ {
+		q := g.Generate(rng)
+		if q == "" || !strings.HasPrefix(q, "/") {
+			t.Fatalf("bad query %q", q)
+		}
+		// Parsing is validated in the integration campaign (avoiding an
+		// import cycle here); check bracket/paren balance and coverage.
+		for _, pair := range [][2]string{{"[", "]"}, {"(", ")"}} {
+			if strings.Count(q, pair[0]) != strings.Count(q, pair[1]) {
+				t.Fatalf("unbalanced %s%s in %q", pair[0], pair[1], q)
+			}
+		}
+		if strings.Contains(q, " | ") {
+			unions++
+		}
+		if strings.Contains(q, "[") {
+			preds++
+		}
+		if strings.Contains(q, " or ") {
+			ors++
+		}
+	}
+	// The grammar knobs must all fire with real frequency.
+	if unions < 50 || preds < 100 || ors < 25 {
+		t.Fatalf("thin coverage: unions=%d preds=%d ors=%d", unions, preds, ors)
+	}
+	g.ConjunctiveOnly = true
+	for i := 0; i < 200; i++ {
+		if q := g.Generate(rng); strings.Contains(q, " or ") {
+			t.Fatalf("ConjunctiveOnly emitted %q", q)
+		}
+	}
+}
+
 func TestRandomQueryParses(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 200; i++ {

@@ -1,0 +1,224 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// QueryGen is a grammar-driven random query generator spanning the full
+// supported XPath fragment — '/' and '//' steps, name tests, '*', '@attr'
+// and 'text()' leaves, value comparisons (= != < <= > >=) against string and
+// numeric literals, self comparisons [. = 'v'], 'and'/'or' with parentheses,
+// predicate paths with nested predicates, and top-level unions. It is the
+// query side of the randomized differential campaign: everything it emits
+// must parse, and every engine must agree on it.
+//
+// All randomness comes from the rng, so a seeded rng reproduces the query.
+// The simpler RandomQuery remains for the older property tests; QueryGen
+// subsumes it with deeper nesting and the constructs it never emitted
+// (nested predicates, parenthesized disjunctions, multi-branch unions,
+// text() comparisons, relative ordering operators).
+type QueryGen struct {
+	// Labels/Attrs/Texts should match the document generator's alphabet so
+	// queries hit; Texts doubles as the string-literal pool.
+	Labels []string
+	Attrs  []string
+	Texts  []string
+	// Numbers is the numeric-literal pool (as written in the query).
+	Numbers []string
+	// MaxSteps bounds the spine length; MaxPredDepth bounds predicate
+	// nesting (a predicate path whose steps carry predicates, recursively);
+	// MaxBranches bounds union width (1 = never a union).
+	MaxSteps     int
+	MaxPredDepth int
+	MaxBranches  int
+	// ConjunctiveOnly suppresses 'or' (the naive baseline's fragment).
+	ConjunctiveOnly bool
+}
+
+// DefaultQueryGen is tuned to the ChurnRandomTree / DefaultRandomTree
+// alphabet.
+var DefaultQueryGen = QueryGen{
+	Labels:       []string{"a", "b", "c", "d"},
+	Attrs:        []string{"id", "k"},
+	Texts:        []string{"1", "2", "3", "x", "y"},
+	Numbers:      []string{"1", "2", "2.5", "3"},
+	MaxSteps:     4,
+	MaxPredDepth: 2,
+	MaxBranches:  3,
+}
+
+// ChurnRandomTree is the document profile of the churn and differential
+// campaigns: the DefaultRandomTree alphabet with deeper nesting and a strong
+// self-nesting bias, so descendant axes meet recursive label chains.
+var ChurnRandomTree = RandomTree{
+	MaxDepth:     9,
+	MaxFanout:    3,
+	Labels:       []string{"a", "b", "c", "d"},
+	AttrProb:     0.3,
+	TextProb:     0.4,
+	Attrs:        []string{"id", "k"},
+	Texts:        []string{"1", "2", "3", "x", "y"},
+	SelfNestProb: 0.35,
+}
+
+// Generate emits one random query: a single path, or a union of up to
+// MaxBranches paths.
+func (g QueryGen) Generate(rng *rand.Rand) string {
+	branches := 1
+	if g.MaxBranches > 1 && rng.Intn(3) == 0 {
+		branches = 2 + rng.Intn(g.MaxBranches-1)
+	}
+	parts := make([]string, branches)
+	for i := range parts {
+		parts[i] = g.GeneratePath(rng)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// GeneratePath emits one random non-union path.
+func (g QueryGen) GeneratePath(rng *rand.Rand) string {
+	var sb strings.Builder
+	steps := 1 + rng.Intn(g.MaxSteps)
+	for i := 0; i < steps; i++ {
+		sb.WriteString(g.axis(rng))
+		sb.WriteString(g.elementStep(rng, g.MaxPredDepth))
+	}
+	// Occasionally end on an attribute or text() leaf (no predicates or
+	// comparisons are allowed there at top level).
+	switch rng.Intn(6) {
+	case 0:
+		sb.WriteString("/@" + pick(rng, g.Attrs))
+	case 1:
+		sb.WriteString("/text()")
+	}
+	return sb.String()
+}
+
+func (g QueryGen) axis(rng *rand.Rand) string {
+	if rng.Intn(2) == 0 {
+		return "/"
+	}
+	return "//"
+}
+
+// elementStep emits a name or '*' test with optional predicates nested up to
+// depth.
+func (g QueryGen) elementStep(rng *rand.Rand, depth int) string {
+	label := pick(rng, g.Labels)
+	if rng.Intn(8) == 0 {
+		label = "*"
+	}
+	if rng.Intn(3) != 0 {
+		return label
+	}
+	preds := 1
+	if rng.Intn(6) == 0 {
+		preds = 2 // two bracket expressions, implicitly conjoined
+	}
+	var sb strings.Builder
+	sb.WriteString(label)
+	for i := 0; i < preds; i++ {
+		sb.WriteString("[")
+		sb.WriteString(g.boolExpr(rng, depth, 2))
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// boolExpr emits an and/or combination of predicate leaves; fanout bounds
+// the connective width.
+func (g QueryGen) boolExpr(rng *rand.Rand, depth, fanout int) string {
+	if fanout <= 0 || rng.Intn(3) != 0 {
+		return g.predLeaf(rng, depth)
+	}
+	conn := " and "
+	if !g.ConjunctiveOnly && rng.Intn(2) == 0 {
+		conn = " or "
+	}
+	left := g.boolExpr(rng, depth, fanout-1)
+	right := g.boolExpr(rng, depth, fanout-1)
+	expr := left + conn + right
+	if rng.Intn(2) == 0 {
+		return "(" + expr + ")"
+	}
+	return expr
+}
+
+// predLeaf emits one predicate atom: attribute/text existence tests, value
+// comparisons, self comparisons, or a relative path (possibly './/'-rooted,
+// possibly with nested predicates, possibly ending in a comparison).
+func (g QueryGen) predLeaf(rng *rand.Rand, depth int) string {
+	switch rng.Intn(8) {
+	case 0:
+		return "@" + pick(rng, g.Attrs)
+	case 1:
+		return "@" + pick(rng, g.Attrs) + g.comparison(rng)
+	case 2:
+		return ". = '" + pick(rng, g.Texts) + "'"
+	case 3:
+		return "text()"
+	case 4:
+		return "text()" + g.comparison(rng)
+	default:
+		return g.predPath(rng, depth)
+	}
+}
+
+// predPath emits a relative path predicate of 1-3 steps. Non-final steps are
+// element tests (optionally with nested predicates when depth allows); the
+// final step may be an element (optionally compared), '@attr' or 'text()'.
+func (g QueryGen) predPath(rng *rand.Rand, depth int) string {
+	var sb strings.Builder
+	if rng.Intn(3) == 0 {
+		sb.WriteString(".//")
+	}
+	steps := 1 + rng.Intn(3)
+	for i := 0; i < steps; i++ {
+		if i > 0 {
+			sb.WriteString(g.axis(rng))
+		}
+		last := i == steps-1
+		if last {
+			switch rng.Intn(6) {
+			case 0:
+				sb.WriteString("@" + pick(rng, g.Attrs))
+				return sb.String()
+			case 1:
+				sb.WriteString("text()")
+				if rng.Intn(2) == 0 {
+					sb.WriteString(g.comparison(rng))
+				}
+				return sb.String()
+			}
+		}
+		if depth > 0 && rng.Intn(4) == 0 {
+			sb.WriteString(g.elementStep(rng, depth-1))
+		} else {
+			label := pick(rng, g.Labels)
+			if rng.Intn(10) == 0 {
+				label = "*"
+			}
+			sb.WriteString(label)
+		}
+		if last && rng.Intn(4) == 0 {
+			sb.WriteString(g.comparison(rng))
+		}
+	}
+	return sb.String()
+}
+
+// comparison emits "op literal" with a string or numeric literal.
+func (g QueryGen) comparison(rng *rand.Rand) string {
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	op := ops[rng.Intn(len(ops))]
+	if len(g.Numbers) > 0 && rng.Intn(2) == 0 {
+		return fmt.Sprintf(" %s %s", op, pick(rng, g.Numbers))
+	}
+	return fmt.Sprintf(" %s '%s'", op, pick(rng, g.Texts))
+}
+
+func pick(rng *rand.Rand, from []string) string {
+	return from[rng.Intn(len(from))]
+}

@@ -34,12 +34,20 @@
 // Evaluation state (machines, scanner, routing sets) lives in pooled
 // sessions: a long-lived Engine serving a stream of documents reuses all of
 // it, so steady-state evaluation is nearly allocation-free.
+//
+// The machine set is dynamic: Add, Remove and Replace mutate a live engine
+// between — and safely concurrent with — Stream calls, compiling only the
+// changed query. Membership is versioned in immutable epochs (epoch.go);
+// each Stream runs against the Snapshot current when it started, and pooled
+// sessions resync their per-machine state incrementally when they observe a
+// newer epoch.
 package engine
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sax"
 	"repro/internal/twigm"
@@ -47,19 +55,26 @@ import (
 	"repro/internal/xpath"
 )
 
-// Engine is an immutable set of compiled machines plus their routing index.
-// It is safe for concurrent use: every Stream call checks a private session
-// out of an internal pool.
+// Engine is a live set of compiled machines plus their routing index. It is
+// safe for concurrent use: every Stream call checks a private session out of
+// an internal pool and runs against the membership snapshot current at its
+// start, while Add/Remove/Replace publish new snapshots without recompiling
+// untouched machines.
 type Engine struct {
-	syms  *sax.Symbols
-	progs []*twigm.Program
+	syms *sax.Symbols
 
-	elemSubs [][]int32 // NameID -> machines whose element tests use the name
-	attrSubs [][]int32 // NameID -> machines whose attribute tests use the name
-	wild     []int32   // machines with a '*' element node: every start event
+	// mu serializes mutations (Add/Remove/Replace). Streams never take it:
+	// they load cur once and run against that immutable epoch.
+	mu  sync.Mutex
+	cur atomic.Pointer[epoch]
 
 	pool  sync.Pool // *session (serial evaluation)
 	ppool sync.Pool // *psession (parallel sharded evaluation)
+
+	// Churn accounting (see Metrics).
+	compiles        atomic.Int64
+	compactions     atomic.Int64
+	shardRebalances atomic.Int64
 }
 
 // New compiles the parsed queries against one shared symbol table and builds
@@ -67,83 +82,119 @@ type Engine struct {
 // query as one machine per branch.
 func New(queries ...*xpath.Query) (*Engine, error) {
 	e := &Engine{syms: sax.NewSymbols()}
-	e.progs = make([]*twigm.Program, len(queries))
-	for i, q := range queries {
+	ep := &epoch{seq: 1, progs: make([]*twigm.Program, 0, len(queries))}
+	for _, q := range queries {
 		p, err := twigm.CompileWith(q, e.syms)
 		if err != nil {
 			return nil, err
 		}
-		e.progs[i] = p
+		ep.progs = append(ep.progs, p)
+		e.compiles.Add(1)
 	}
-	e.elemSubs = make([][]int32, e.syms.Len()+1)
-	e.attrSubs = make([][]int32, e.syms.Len()+1)
-	for i, p := range e.progs {
-		for _, id := range p.ElemNameIDs() {
-			e.elemSubs[id] = append(e.elemSubs[id], int32(i))
-		}
-		for _, id := range p.AttrNameIDs() {
-			e.attrSubs[id] = append(e.attrSubs[id], int32(i))
-		}
-		if p.HasWildcardElem() {
-			e.wild = append(e.wild, int32(i))
-		}
+	ep.elemSubs = make([][]int32, e.syms.Len()+1)
+	ep.attrSubs = make([][]int32, e.syms.Len()+1)
+	for i, p := range ep.progs {
+		ep.subscribe(int32(i), p)
 	}
+	ep.reindex()
+	e.cur.Store(ep)
 	return e, nil
 }
 
-// Programs returns the compiled machines, in query order. The slice is
-// shared; callers must not modify it.
-func (e *Engine) Programs() []*twigm.Program { return e.progs }
+// Snapshot is an immutable view of the engine's membership at one instant.
+// All evaluation runs through a snapshot: machine indexes (opts, stats,
+// Programs) are dense positions in the snapshot's insertion order and stay
+// coherent however the engine is mutated afterwards.
+type Snapshot struct {
+	eng *Engine
+	ep  *epoch
+}
 
-// Symbols returns the shared table all machines were compiled against.
+// Snapshot captures the current membership (one atomic load). Callers that
+// must pair a Stream with external per-machine bookkeeping take a snapshot
+// once and use it for both.
+func (e *Engine) Snapshot() Snapshot { return Snapshot{eng: e, ep: e.cur.Load()} }
+
+// Programs returns the live machines in insertion order. The slice is shared
+// when no slot is tombstoned; callers must not modify it.
+func (s Snapshot) Programs() []*twigm.Program {
+	if s.ep.garbage == 0 {
+		return s.ep.progs
+	}
+	out := make([]*twigm.Program, len(s.ep.live))
+	for d, slot := range s.ep.live {
+		out[d] = s.ep.progs[slot]
+	}
+	return out
+}
+
+// Len returns the number of live machines.
+func (s Snapshot) Len() int { return len(s.ep.live) }
+
+// Programs returns the current live machines in insertion order; see
+// Snapshot.Programs.
+func (e *Engine) Programs() []*twigm.Program { return e.Snapshot().Programs() }
+
+// Symbols returns the shared table all machines are compiled against.
 func (e *Engine) Symbols() *sax.Symbols { return e.syms }
 
-// Len returns the number of machines.
-func (e *Engine) Len() int { return len(e.progs) }
+// Len returns the current number of live machines.
+func (e *Engine) Len() int { return e.Snapshot().Len() }
 
-// Stream evaluates every machine over one scan of r. opts[i] configures
-// machine i (emit callbacks and modes); len(opts) must equal Len(). The
-// returned per-machine statistics carry the shared scan's Events, Elements
-// and MaxDepth counters — under routed dispatch a machine does not see every
-// event, so per-machine counts of scan-level quantities would be
+// Stream evaluates the current membership over one scan of r; it is
+// Snapshot().Stream. opts[i] configures machine i in snapshot order.
+func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
+	return e.Snapshot().Stream(r, useStdParser, opts)
+}
+
+// Stream evaluates every machine of the snapshot over one scan of r. opts[i]
+// configures machine i (emit callbacks and modes); len(opts) must equal
+// Len(). The returned per-machine statistics carry the shared scan's Events,
+// Elements and MaxDepth counters — under routed dispatch a machine does not
+// see every event, so per-machine counts of scan-level quantities would be
 // meaningless. ConfirmedAt/DeliveredAt of results are indexed against the
 // shared scan's event clock and match what a broadcast evaluation would
 // report.
-func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
-	if len(opts) != len(e.progs) {
-		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(e.progs))
+func (s Snapshot) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
+	e, ep := s.eng, s.ep
+	if len(opts) != len(ep.live) {
+		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(ep.live))
 	}
-	s, _ := e.pool.Get().(*session)
-	if s == nil {
-		s = newSession(e)
+	ses, _ := e.pool.Get().(*session)
+	if ses == nil {
+		ses = newSession(e)
 	}
-	defer e.pool.Put(s)
-	s.reset(opts)
+	defer e.pool.Put(ses)
+	ses.sync(ep)
+	ses.reset(opts)
 
 	var drv sax.Driver
 	if useStdParser {
 		drv = sax.NewStdDriverWith(r, e.syms)
 	} else {
-		s.scan.Reset(r)
-		drv = s.scan
+		ses.scan.Reset(r)
+		drv = ses.scan
 	}
-	err := drv.Run(s)
-	stats := make([]twigm.Stats, len(s.rt.runs))
-	for i, run := range s.rt.runs {
-		st := run.Stats()
-		st.Events = s.events
-		st.Elements = s.elements
-		st.MaxDepth = s.maxDepth
-		stats[i] = st
+	err := drv.Run(ses)
+	stats := make([]twigm.Stats, len(ep.live))
+	for d, slot := range ep.live {
+		st := ses.runs[slot].Stats()
+		st.Events = ses.events
+		st.Elements = ses.elements
+		st.MaxDepth = ses.maxDepth
+		stats[d] = st
 	}
 	return stats, err
 }
 
-// session is one serial evaluation's worth of mutable state: the machines,
-// the reusable scanner, and the router over all of them. Sessions are pooled
-// and fully reset between documents.
+// session is one serial evaluation's worth of mutable state: the machine
+// runs (slot-indexed against the epoch it last synced to), the reusable
+// scanner, and the router over all of them. Sessions are pooled and fully
+// reset between documents; they survive epoch changes by resyncing.
 type session struct {
 	eng  *Engine
+	ep   *epoch       // epoch the slot-indexed state below matches
+	runs []*twigm.Run // slot -> run (nil for tombstoned slots)
 	rt   router
 	scan *xmlscan.Scanner
 
@@ -154,26 +205,59 @@ type session struct {
 }
 
 func newSession(e *Engine) *session {
-	n := len(e.progs)
-	s := &session{
+	return &session{
 		eng:  e,
 		scan: xmlscan.NewScannerWith(nil, e.syms),
 	}
-	runs := make([]*twigm.Run, n)
-	for i, p := range e.progs {
-		runs[i] = p.Start(twigm.Options{})
+}
+
+// sync aligns the session's slot-indexed state with ep. Steady state (no
+// mutation since last checkout) is a pointer compare. After a mutation, runs
+// are re-keyed by program identity, so machines untouched by the mutation —
+// including machines moved to new slots by compaction — keep their warmed-up
+// run state; only added or replaced machines start fresh runs.
+func (s *session) sync(ep *epoch) {
+	if s.ep == ep {
+		return
 	}
-	machines := make([]int32, n)
-	for i := range machines {
-		machines[i] = int32(i)
+	s.runs = rekeyRuns(s.ep, s.runs, ep)
+	s.ep = ep
+	s.rt.init(s.runs, ep.elemSubs, ep.attrSubs, ep.wild, ep.live)
+}
+
+// rekeyRuns rebuilds a session's slot-indexed run slice for a new epoch,
+// re-keying existing runs by program identity: machines untouched by the
+// mutation — including machines moved to new slots by compaction — keep
+// their warmed-up run state; only added or replaced machines start fresh
+// runs. Shared by the serial and parallel session resyncs so the reuse
+// semantics cannot drift between the two evaluation modes.
+func rekeyRuns(old *epoch, oldRuns []*twigm.Run, ep *epoch) []*twigm.Run {
+	var byProg map[*twigm.Program]*twigm.Run
+	if old != nil {
+		byProg = make(map[*twigm.Program]*twigm.Run, len(oldRuns))
+		for slot, p := range old.progs {
+			if p != nil && oldRuns[slot] != nil {
+				byProg[p] = oldRuns[slot]
+			}
+		}
 	}
-	s.rt.init(runs, e.elemSubs, e.attrSubs, e.wild, machines)
-	return s
+	runs := make([]*twigm.Run, len(ep.progs))
+	for slot, p := range ep.progs {
+		if p == nil {
+			continue
+		}
+		if r := byProg[p]; r != nil {
+			runs[slot] = r
+		} else {
+			runs[slot] = p.Start(twigm.Options{})
+		}
+	}
+	return runs
 }
 
 func (s *session) reset(opts []twigm.Options) {
-	for i, run := range s.rt.runs {
-		run.Reset(opts[i])
+	for d, slot := range s.ep.live {
+		s.runs[slot].Reset(opts[d])
 	}
 	s.events = 0
 	s.elements = 0
@@ -241,6 +325,22 @@ func (rt *router) init(runs []*twigm.Run, elemSubs, attrSubs [][]int32, wild, ma
 	rt.endSet.init(n)
 	rt.textSet.init(n)
 	rt.fullSet.init(n)
+}
+
+// rehost points the router at a new slot universe without touching its
+// subscription tables: the routed membership is unchanged (the caller
+// verified that), only the runs slice and the slot-indexed scratch need to
+// cover the new universe. Slot universes only grow between rehosts —
+// shrinking renumbers slots (compaction), which changes membership and goes
+// through init instead.
+func (rt *router) rehost(runs []*twigm.Run, nSlots int) {
+	rt.runs = runs
+	for len(rt.stamps) < nSlots {
+		rt.stamps = append(rt.stamps, 0)
+	}
+	rt.endSet.grow(nSlots)
+	rt.textSet.grow(nSlots)
+	rt.fullSet.grow(nSlots)
 }
 
 // reset clears the dynamic sets and recomputes the memberships of every
@@ -381,6 +481,13 @@ func (d *denseSet) init(n int) {
 	d.pos = make([]int32, n)
 	for i := range d.pos {
 		d.pos[i] = -1
+	}
+}
+
+// grow extends the position index to cover n slots (members unchanged).
+func (d *denseSet) grow(n int) {
+	for len(d.pos) < n {
+		d.pos = append(d.pos, -1)
 	}
 }
 

@@ -1,0 +1,285 @@
+// Epoch layer: the mutability story of the shared-dispatch engine.
+//
+// The paper's subscription scenario is not a fixed query set — millions of
+// standing subscriptions churn constantly. Recompiling every machine on each
+// Add would make churn cost O(total queries); this file makes it O(changed
+// query) by separating the engine's identity (symbol table, pools, metrics)
+// from its membership (an immutable epoch snapshot swapped atomically):
+//
+//   - The shared sax.Symbols table is append-only and engine-lifetime: a new
+//     query compiles against it alone, existing machines and interned IDs are
+//     never invalidated, and scanners only ever need to re-resolve names they
+//     previously failed to find (see xmlscan.Scanner.Reset).
+//   - An epoch assigns each machine a slot. Mutations build the next epoch
+//     by structural sharing: outer tables are copied (O(slots) pointer
+//     copies, no compilation), inner subscription lists are shared and only
+//     appended to — appends land past every older epoch's length, so
+//     in-flight streams reading an older epoch never observe them. Removal
+//     rebuilds just the removed machine's lists.
+//   - Remove tombstones a slot (progs[slot] = nil) instead of renumbering,
+//     so untouched machines keep their slots and pooled sessions resync
+//     incrementally. When tombstones exceed a threshold, a compaction pass
+//     renumbers the survivors densely (preserving relative order) and
+//     rebuilds the routing tables, reclaiming slot-indexed space.
+//   - Stream calls capture a Snapshot (one atomic load). A stream started
+//     before a mutation completes runs against the old membership — results
+//     of a concurrently-removed query are still delivered on that stream,
+//     and a concurrently-added query first matches on the next stream.
+//
+// Mutations are serialized by Engine.mu; Snapshot and Stream never take it.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/twigm"
+	"repro/internal/xpath"
+)
+
+// Compaction runs when at least compactMinGarbage slots are tombstoned AND
+// tombstones outnumber live machines. The first bound keeps small sets from
+// compacting on every other Remove; the second bounds slot-indexed state
+// (session runs, stamps, dense sets) at 2x the live set.
+const compactMinGarbage = 16
+
+// epoch is one immutable membership snapshot: the compiled machines by slot,
+// the live-slot index, and the routing tables restricted to live slots.
+// Everything reachable from an epoch is frozen once the epoch is published;
+// successor epochs share inner subscription lists append-only (see the
+// package comment for why that is safe).
+type epoch struct {
+	// seq increments per mutation (diagnostics; sessions compare epoch
+	// pointers, not seqs).
+	seq uint64
+	// progs maps slot -> machine; nil is a tombstone left by Remove.
+	progs []*twigm.Program
+	// live lists the non-tombstoned slots in ascending order. Ascending
+	// slot order equals insertion order (compaction is stable), and is the
+	// order broadcast deliveries and dense (caller-facing) indexing use.
+	live []int32
+	// liveIdx maps slot -> dense index in live (-1 for tombstones).
+	liveIdx []int32
+
+	elemSubs [][]int32 // NameID -> live slots subscribed to the element name
+	attrSubs [][]int32 // NameID -> live slots subscribed to the attribute name
+	wild     []int32   // live slots with a '*' element node
+
+	garbage int // tombstoned slots in progs
+}
+
+// clone copies the epoch's outer structure for the next mutation: slot and
+// subscription tables get fresh outer slices (inner lists shared), and the
+// subscription tables grow to cover symsLen (the table may have grown while
+// compiling the query that triggered this mutation).
+func (ep *epoch) clone(symsLen int) *epoch {
+	next := &epoch{
+		seq:      ep.seq + 1,
+		progs:    append([]*twigm.Program(nil), ep.progs...),
+		elemSubs: growSubs(ep.elemSubs, symsLen),
+		attrSubs: growSubs(ep.attrSubs, symsLen),
+		wild:     ep.wild,
+		garbage:  ep.garbage,
+	}
+	return next
+}
+
+// growSubs copies the outer slice of a subscription table, extended to cover
+// IDs 1..symsLen.
+func growSubs(subs [][]int32, symsLen int) [][]int32 {
+	n := symsLen + 1
+	if n < len(subs) {
+		n = len(subs)
+	}
+	out := make([][]int32, n)
+	copy(out, subs)
+	return out
+}
+
+// subscribe adds slot to every routing list its program's static
+// subscriptions name. Appends may share backing arrays with older epochs;
+// they only ever write past those epochs' lengths.
+func (ep *epoch) subscribe(slot int32, p *twigm.Program) {
+	for _, id := range p.ElemNameIDs() {
+		ep.elemSubs[id] = append(ep.elemSubs[id], slot)
+	}
+	for _, id := range p.AttrNameIDs() {
+		ep.attrSubs[id] = append(ep.attrSubs[id], slot)
+	}
+	if p.HasWildcardElem() {
+		ep.wild = append(ep.wild, slot)
+	}
+}
+
+// unsubscribe rebuilds (fresh backing — older epochs keep reading the old
+// lists) every routing list that mentions slot, dropping it.
+func (ep *epoch) unsubscribe(slot int32, p *twigm.Program) {
+	for _, id := range p.ElemNameIDs() {
+		ep.elemSubs[id] = without(ep.elemSubs[id], slot)
+	}
+	for _, id := range p.AttrNameIDs() {
+		ep.attrSubs[id] = without(ep.attrSubs[id], slot)
+	}
+	if p.HasWildcardElem() {
+		ep.wild = without(ep.wild, slot)
+	}
+}
+
+// without returns a fresh copy of list with slot removed.
+func without(list []int32, slot int32) []int32 {
+	out := make([]int32, 0, len(list)-1)
+	for _, s := range list {
+		if s != slot {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// reindex rebuilds the live/liveIdx views from progs.
+func (ep *epoch) reindex() {
+	ep.live = make([]int32, 0, len(ep.progs)-ep.garbage)
+	ep.liveIdx = make([]int32, len(ep.progs))
+	for slot, p := range ep.progs {
+		if p == nil {
+			ep.liveIdx[slot] = -1
+			continue
+		}
+		ep.liveIdx[slot] = int32(len(ep.live))
+		ep.live = append(ep.live, int32(slot))
+	}
+}
+
+// slotOf returns the slot of p, or -1 if p is not a live machine of this
+// epoch. Linear in slots — mutations are O(slots) bookkeeping anyway.
+func (ep *epoch) slotOf(p *twigm.Program) int32 {
+	for slot, q := range ep.progs {
+		if q == p && q != nil {
+			return int32(slot)
+		}
+	}
+	return -1
+}
+
+// compact renumbers the survivors densely, preserving relative order, and
+// rebuilds the routing tables from scratch. Sessions resynced to a compacted
+// epoch re-key their per-slot state by program identity, so machine runs
+// (and their warmed-up allocations) survive the renumbering.
+func (ep *epoch) compact(symsLen int) *epoch {
+	next := &epoch{
+		seq:      ep.seq, // compaction rides the mutation that triggered it
+		progs:    make([]*twigm.Program, 0, len(ep.live)),
+		elemSubs: make([][]int32, symsLen+1),
+		attrSubs: make([][]int32, symsLen+1),
+	}
+	for _, slot := range ep.live {
+		p := ep.progs[slot]
+		next.subscribe(int32(len(next.progs)), p)
+		next.progs = append(next.progs, p)
+	}
+	next.reindex()
+	return next
+}
+
+// ---- engine mutations ----
+
+// Add compiles q against the shared symbol table and publishes a new epoch
+// containing it. No existing machine is recompiled or otherwise touched;
+// streams already running keep their snapshot and first see the new machine
+// on their next Stream call. Returns the new machine, which is the handle
+// Remove and Replace take.
+func (e *Engine) Add(q *xpath.Query) (*twigm.Program, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, err := twigm.CompileWith(q, e.syms)
+	if err != nil {
+		return nil, err
+	}
+	e.compiles.Add(1)
+	ep := e.cur.Load().clone(e.syms.Len())
+	slot := int32(len(ep.progs))
+	ep.progs = append(ep.progs, p)
+	ep.subscribe(slot, p)
+	ep.reindex()
+	e.cur.Store(ep)
+	return p, nil
+}
+
+// Remove tombstones machine p and publishes a new epoch without it. Streams
+// already running still deliver p's results; later streams do not. When
+// tombstones pass the compaction threshold the new epoch is compacted.
+func (e *Engine) Remove(p *twigm.Program) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.cur.Load()
+	slot := old.slotOf(p)
+	if slot < 0 {
+		return fmt.Errorf("engine: Remove of a machine not in the set")
+	}
+	ep := old.clone(e.syms.Len())
+	ep.progs[slot] = nil
+	ep.garbage++
+	ep.unsubscribe(slot, p)
+	ep.reindex()
+	if ep.garbage >= compactMinGarbage && ep.garbage > len(ep.live) {
+		ep = ep.compact(e.syms.Len())
+		e.compactions.Add(1)
+	}
+	e.cur.Store(ep)
+	return nil
+}
+
+// Replace swaps machine old for a machine compiled from q, reusing old's
+// slot (the new machine keeps old's position in the dense order). Only q is
+// compiled.
+func (e *Engine) Replace(old *twigm.Program, q *xpath.Query) (*twigm.Program, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.cur.Load()
+	slot := cur.slotOf(old)
+	if slot < 0 {
+		return nil, fmt.Errorf("engine: Replace of a machine not in the set")
+	}
+	p, err := twigm.CompileWith(q, e.syms)
+	if err != nil {
+		return nil, err
+	}
+	e.compiles.Add(1)
+	ep := cur.clone(e.syms.Len())
+	ep.unsubscribe(slot, old)
+	ep.progs[slot] = p
+	ep.subscribe(slot, p)
+	ep.reindex()
+	e.cur.Store(ep)
+	return p, nil
+}
+
+// Metrics is a point-in-time view of the engine's churn accounting, the
+// counters the incremental-update guarantees are asserted against: Compiles
+// counts machine compilations over the engine's lifetime (an Add moves it by
+// exactly one), Compactions counts slot-reclaiming passes, ShardRebalances
+// counts parallel-shard routing tables rebuilt during pooled session resyncs
+// (an Add touches exactly one shard per session), and Slots/Live/Garbage
+// describe the current epoch.
+type Metrics struct {
+	Epoch           uint64
+	Compiles        int64
+	Compactions     int64
+	ShardRebalances int64
+	Slots           int
+	Live            int
+	Garbage         int
+}
+
+// Metrics returns the engine's churn accounting.
+func (e *Engine) Metrics() Metrics {
+	ep := e.cur.Load()
+	return Metrics{
+		Epoch:           ep.seq,
+		Compiles:        e.compiles.Load(),
+		Compactions:     e.compactions.Load(),
+		ShardRebalances: e.shardRebalances.Load(),
+		Slots:           len(ep.progs),
+		Live:            len(ep.live),
+		Garbage:         ep.garbage,
+	}
+}

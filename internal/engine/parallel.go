@@ -63,19 +63,26 @@ const batchSize = 512
 // downstream failure; it never escapes to the caller.
 var errAborted = errors.New("engine: parallel evaluation aborted")
 
-// StreamParallel evaluates every machine over one scan of r using the given
-// number of worker goroutines (workers <= 0 means GOMAXPROCS). Results,
-// statistics, per-query Seq numbers and ConfirmedAt/DeliveredAt clocks are
-// byte-identical to Stream; Emit callbacks are invoked sequentially from the
-// calling goroutine in the serial emission order. Evaluations with a Trace
-// writer, fewer than two machines or fewer than two workers fall back to the
-// serial path.
+// StreamParallel evaluates the current membership over one scan of r; it is
+// Snapshot().StreamParallel.
 func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
+	return e.Snapshot().StreamParallel(r, useStdParser, opts, workers)
+}
+
+// StreamParallel evaluates every machine of the snapshot over one scan of r
+// using the given number of worker goroutines (workers <= 0 means
+// GOMAXPROCS). Results, statistics, per-query Seq numbers and
+// ConfirmedAt/DeliveredAt clocks are byte-identical to Stream; Emit
+// callbacks are invoked sequentially from the calling goroutine in the
+// serial emission order. Evaluations with a Trace writer, fewer than two
+// machines or fewer than two workers fall back to the serial path.
+func (s Snapshot) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
+	e, ep := s.eng, s.ep
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(e.progs) {
-		workers = len(e.progs)
+	if workers > len(ep.live) {
+		workers = len(ep.live)
 	}
 	traced := false
 	for i := range opts {
@@ -85,10 +92,10 @@ func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Opt
 		}
 	}
 	if workers < 2 || traced {
-		return e.Stream(r, useStdParser, opts)
+		return s.Stream(r, useStdParser, opts)
 	}
-	if len(opts) != len(e.progs) {
-		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(e.progs))
+	if len(opts) != len(ep.live) {
+		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(ep.live))
 	}
 
 	ps, _ := e.ppool.Get().(*psession)
@@ -96,6 +103,7 @@ func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Opt
 		ps = newPsession(e, workers)
 	}
 	defer e.ppool.Put(ps)
+	ps.sync(ep)
 	ps.reset(opts)
 
 	var drv sax.Driver
@@ -159,7 +167,7 @@ func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Opt
 			}
 			em := &fronts[best].emissions[fronts[best].next]
 			fronts[best].next++
-			if emit := opts[em.mach].Emit; emit != nil {
+			if emit := opts[ep.liveIdx[em.mach]].Emit; emit != nil {
 				if err := emit(em.res); err != nil {
 					emitErr = err
 					prod.abort.Store(true)
@@ -170,13 +178,13 @@ func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Opt
 	}
 	wg.Wait()
 
-	stats := make([]twigm.Stats, len(ps.runs))
-	for i, run := range ps.runs {
-		st := run.Stats()
+	stats := make([]twigm.Stats, len(ep.live))
+	for d, slot := range ep.live {
+		st := ps.runs[slot].Stats()
 		st.Events = prod.events
 		st.Elements = prod.elements
 		st.MaxDepth = prod.maxDepth
-		stats[i] = st
+		stats[d] = st
 	}
 	for _, w := range ps.workers {
 		if w.failed != nil {
@@ -229,30 +237,37 @@ type eventBatch struct {
 }
 
 // psession is one parallel evaluation's worth of mutable state: all machine
-// runs, the shard workers (each a router over its shard with shard-filtered
-// tables), the reusable scanner and the batch freelist. Pooled per Engine.
-// Runs, routing tables, internal Emit closures, dynamic sets and batches are
-// all retained across streams; the per-stream cost is one pair of channels
-// per worker plus whatever emission buffers results need.
+// runs (slot-indexed against the epoch it last synced to), the shard workers
+// (each a router over its shard with shard-filtered tables), the reusable
+// scanner and the batch freelist. Pooled per Engine. Runs, routing tables,
+// internal Emit closures, dynamic sets and batches are all retained across
+// streams; the per-stream cost is one pair of channels per worker plus
+// whatever emission buffers results need. Across epochs the session resyncs
+// incrementally: a mutation rebuilds routing state only in the shards whose
+// membership changed (slot i belongs to shard i mod N, so an Add touches
+// exactly one shard).
 type psession struct {
 	eng      *Engine
+	ep       *epoch // epoch the slot-indexed state below matches
 	nworkers int
-	runs     []*twigm.Run
+	runs     []*twigm.Run // slot -> run (nil for tombstoned slots)
 	scan     *xmlscan.Scanner
 	workers  []*pworker
 	free     chan *eventBatch
 	prod     producer
-	// emitOn[i] records whether the caller installed an Emit for machine
-	// i this stream; the prebuilt internal closures consult it so they
-	// can be wired once at construction.
+	// emitOn[slot] records whether the caller installed an Emit for the
+	// machine this stream; the prebuilt internal closures consult it so
+	// they can be wired once per slot.
 	emitOn []bool
-	// emits[i] is machine i's internal Emit closure, built once.
+	// emits[slot] is the machine's internal Emit closure, built once per
+	// slot.
 	emits []func(twigm.Result) error
 }
 
-// pworker owns the machines of one shard: a router restricted to the shard,
-// the channels batches and results flow through, and the emission buffer the
-// shard's internal Emit closures append to.
+// pworker owns the machines of one shard: a router restricted to the shard
+// (tables owned by the worker, mutated in place during resyncs — they are
+// session-private), the channels batches and results flow through, and the
+// emission buffer the shard's internal Emit closures append to.
 type pworker struct {
 	ps *psession
 	rt router
@@ -265,78 +280,128 @@ type pworker struct {
 }
 
 func newPsession(e *Engine, workers int) *psession {
-	n := len(e.progs)
 	ps := &psession{
 		eng:      e,
 		nworkers: workers,
-		runs:     make([]*twigm.Run, n),
 		scan:     xmlscan.NewScannerWith(nil, e.syms),
 		free:     make(chan *eventBatch, 4*workers+4),
-		emitOn:   make([]bool, n),
-	}
-	for i, p := range e.progs {
-		ps.runs[i] = p.Start(twigm.Options{})
-	}
-	shardOf := func(i int32) int { return int(i) % workers }
-	shardFilter := func(subs [][]int32, w int) [][]int32 {
-		out := make([][]int32, len(subs))
-		for id, list := range subs {
-			for _, i := range list {
-				if shardOf(i) == w {
-					out[id] = append(out[id], i)
-				}
-			}
-		}
-		return out
 	}
 	for wi := 0; wi < workers; wi++ {
-		w := &pworker{ps: ps}
-		var wild, machines []int32
-		for _, i := range e.wild {
-			if shardOf(i) == wi {
-				wild = append(wild, i)
-			}
-		}
-		for i := int32(0); int(i) < n; i++ {
-			if shardOf(i) == wi {
-				machines = append(machines, i)
-			}
-		}
-		w.rt.init(ps.runs, shardFilter(e.elemSubs, wi), shardFilter(e.attrSubs, wi), wild, machines)
-		ps.workers = append(ps.workers, w)
-	}
-	ps.emits = make([]func(twigm.Result) error, n)
-	for i := range ps.emits {
-		ps.emits[i] = ps.emitFor(int32(i))
+		ps.workers = append(ps.workers, &pworker{ps: ps})
 	}
 	ps.prod.ps = ps
 	return ps
 }
 
-// emitFor builds machine i's internal Emit closure, wired once at
-// construction: it stamps each result with the serial-order key and parks it
-// on the owning worker's chunk buffer.
-func (ps *psession) emitFor(i int32) func(twigm.Result) error {
-	w := ps.workers[int(i)%ps.nworkers]
+// shardOf maps a machine slot to the worker that owns it. Static sharding by
+// slot keeps a machine on one worker across its lifetime (epochs preserve
+// slots outside compaction), which is what makes incremental resync local.
+func (ps *psession) shardOf(slot int32) int { return int(slot) % ps.nworkers }
+
+// sync aligns the session's slot-indexed state with ep. Steady state is a
+// pointer compare. After a mutation, runs are re-keyed by program identity
+// (machines untouched by the mutation keep their warmed-up state), and only
+// the shards whose slot membership changed rebuild their routing tables —
+// the per-shard rebuild is recorded in the engine's ShardRebalances metric.
+func (ps *psession) sync(ep *epoch) {
+	if ps.ep == ep {
+		return
+	}
+	old := ps.ep
+	runs := rekeyRuns(old, ps.runs, ep)
+	dirty := make([]bool, ps.nworkers)
+	for slot := range ep.progs {
+		var prev *twigm.Program
+		if old != nil && slot < len(old.progs) {
+			prev = old.progs[slot]
+		}
+		if ep.progs[slot] != prev {
+			dirty[ps.shardOf(int32(slot))] = true
+		}
+	}
+	if old != nil {
+		for slot := len(ep.progs); slot < len(old.progs); slot++ {
+			if old.progs[slot] != nil {
+				dirty[ps.shardOf(int32(slot))] = true
+			}
+		}
+	}
+	ps.runs = runs
+
+	// Grow the per-slot emit plumbing; closures resolve their worker per
+	// call, so they survive compaction moving a slot between shards.
+	for slot := len(ps.emits); slot < len(ep.progs); slot++ {
+		ps.emits = append(ps.emits, ps.emitFor(int32(slot)))
+		ps.emitOn = append(ps.emitOn, false)
+	}
+
+	rebuilt := int64(0)
+	for wi, w := range ps.workers {
+		if old != nil && !dirty[wi] {
+			// Membership unchanged: the shard keeps its tables; only the
+			// runs slice reference moves to the new slot universe.
+			w.rt.rehost(runs, len(ep.progs))
+			continue
+		}
+		var wild, machines []int32
+		for _, slot := range ep.wild {
+			if ps.shardOf(slot) == wi {
+				wild = append(wild, slot)
+			}
+		}
+		for _, slot := range ep.live {
+			if ps.shardOf(slot) == wi {
+				machines = append(machines, slot)
+			}
+		}
+		w.rt.init(runs, shardFilter(ep.elemSubs, ps, wi), shardFilter(ep.attrSubs, ps, wi), wild, machines)
+		if old != nil {
+			rebuilt++
+		}
+	}
+	if rebuilt > 0 {
+		ps.eng.shardRebalances.Add(rebuilt)
+	}
+	ps.ep = ep
+}
+
+// shardFilter restricts a subscription table to the slots of one shard.
+func shardFilter(subs [][]int32, ps *psession, w int) [][]int32 {
+	out := make([][]int32, len(subs))
+	for id, list := range subs {
+		for _, slot := range list {
+			if ps.shardOf(slot) == w {
+				out[id] = append(out[id], slot)
+			}
+		}
+	}
+	return out
+}
+
+// emitFor builds the slot's internal Emit closure, wired once: it stamps
+// each result with the serial-order key and parks it on the owning worker's
+// chunk buffer.
+func (ps *psession) emitFor(slot int32) func(twigm.Result) error {
 	return func(tr twigm.Result) error {
-		if !ps.emitOn[i] {
+		if !ps.emitOn[slot] {
 			return nil
 		}
-		w.cur = append(w.cur, emission{at: w.rt.clock, mach: i, res: tr})
+		w := ps.workers[ps.shardOf(slot)]
+		w.cur = append(w.cur, emission{at: w.rt.clock, mach: slot, res: tr})
 		return nil
 	}
 }
 
 // reset prepares the pooled session for a new stream: machine runs are reset
-// with the caller's options (Emit redirected to the prebuilt per-machine
+// with the caller's options (Emit redirected to the prebuilt per-slot
 // recorder), routing memberships recomputed, channels re-created (the
 // previous stream closed them).
 func (ps *psession) reset(opts []twigm.Options) {
-	for i, run := range ps.runs {
-		ps.emitOn[i] = opts[i].Emit != nil
-		ropts := opts[i]
-		ropts.Emit = ps.emits[i]
-		run.Reset(ropts)
+	for d, slot := range ps.ep.live {
+		ps.emitOn[slot] = opts[d].Emit != nil
+		ropts := opts[d]
+		ropts.Emit = ps.emits[slot]
+		ps.runs[slot].Reset(ropts)
 	}
 	for _, w := range ps.workers {
 		w.cur = nil

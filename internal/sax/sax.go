@@ -96,10 +96,16 @@ func IsNamespaceDecl(name string) bool {
 }
 
 // SplitName splits a lexical QName into its prefix and local part at the
-// first colon. Names without a colon have an empty prefix.
+// first colon. Names without a colon have an empty prefix. Degenerate names
+// where either part would be empty (":", ":a", "a:") are not QNames; they
+// stay unsplit — the whole name is the local part, matching encoding/xml's
+// treatment (the cross-parser fuzz differential pins this).
 func SplitName(name string) (prefix, local string) {
 	for i := 0; i < len(name); i++ {
 		if name[i] == ':' {
+			if i == 0 || i == len(name)-1 {
+				return "", name
+			}
 			return name[:i], name[i+1:]
 		}
 	}

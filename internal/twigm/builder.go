@@ -18,10 +18,20 @@ package twigm
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sax"
 	"repro/internal/xpath"
 )
+
+// compileCount counts every machine built by this process. Incremental
+// query-set updates are specified as "compile only the changed query"; tests
+// assert that property by differencing this counter around a mutation.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of TwigM machines compiled by this process
+// so far.
+func CompileCount() int64 { return compileCount.Load() }
 
 // maxChildren bounds the number of machine children per query node (flag
 // bits live in one uint64 per stack entry).
@@ -126,6 +136,7 @@ func Compile(q *xpath.Query) (*Program, error) {
 // engine-level routing) that feeds the machine; a nil syms gets a private
 // table.
 func CompileWith(q *xpath.Query, syms *sax.Symbols) (*Program, error) {
+	compileCount.Add(1)
 	if syms == nil {
 		syms = sax.NewSymbols()
 	}

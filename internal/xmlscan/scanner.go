@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/sax"
 )
@@ -65,6 +66,9 @@ type Scanner struct {
 	syms     *sax.Symbols
 	interned map[string]symEntry
 	nameBuf  []byte
+	// symsLen is the symbol-table length observed at the last Reset, the
+	// staleness check for cached SymUnknown resolutions (see Reset).
+	symsLen int
 	// entities holds general entities declared in the DOCTYPE internal
 	// subset (<!ENTITY name "value">). Values are raw replacement text;
 	// they are expanded recursively at reference sites with depth and
@@ -119,7 +123,10 @@ func NewScanner(r io.Reader) *Scanner {
 // NewScannerWith returns a Scanner that resolves element and attribute names
 // against syms: events carry the table's ID for interned names and
 // sax.SymUnknown for names the table does not know. The table is only read,
-// never grown, so any number of scanners may share one.
+// never grown, so any number of scanners may share one. The table may grow
+// underneath the scanner (live query sets intern new names on Add); Reset
+// notices the growth and drops cached not-found resolutions, so names that
+// became known resolve correctly on the next document.
 func NewScannerWith(r io.Reader, syms *sax.Symbols) *Scanner {
 	s := NewScanner(r)
 	s.syms = syms
@@ -128,8 +135,22 @@ func NewScannerWith(r io.Reader, syms *sax.Symbols) *Scanner {
 
 // Reset prepares the Scanner for a new document read from r, retaining the
 // read buffer, the attribute scratch and the name intern cache (names repeat
-// across documents of a feed; re-resolving them would be wasted work).
+// across documents of a feed; re-resolving them would be wasted work). If
+// the shared symbol table grew since the last Reset, cached SymUnknown
+// resolutions are dropped: a name unknown then may be a standing query's
+// subscription now. Positive resolutions stay — IDs are append-only, a name
+// once interned never changes its ID.
 func (s *Scanner) Reset(r io.Reader) {
+	if s.syms != nil {
+		if n := s.syms.Len(); n != s.symsLen {
+			s.symsLen = n
+			for name, e := range s.interned {
+				if e.id == sax.SymUnknown {
+					delete(s.interned, name)
+				}
+			}
+		}
+	}
 	s.r = r
 	s.pos, s.end = 0, 0
 	s.off = 0
@@ -344,6 +365,22 @@ func (s *Scanner) peek() (byte, bool) {
 	return s.buf[s.pos], true
 }
 
+// hasPrefix reports whether the unread input begins with lit, consuming
+// nothing. Used on cold paths (markup-declaration dispatch) only.
+func (s *Scanner) hasPrefix(lit string) bool {
+	for s.end-s.pos < len(lit) {
+		if !s.fill() {
+			return false
+		}
+	}
+	for i := 0; i < len(lit); i++ {
+		if s.buf[s.pos+i] != lit[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Scanner) advance(n int) {
 	s.pos += n
 	s.off += int64(n)
@@ -411,12 +448,30 @@ func (s *Scanner) readName() (string, error) {
 	return e.name, err
 }
 
-// readNameID scans an XML Name, returning its interned cache entry (canonical
-// string, prefix/local split, local-name symbol ID).
+// readNameID scans an XML Name, returning its interned cache entry
+// (canonical string, prefix/local split, local-name symbol ID). The byte
+// scan decides where the name ends; rune-level validation (the XML name
+// tables, invalid UTF-8, the one-colon QName rule) decides whether it is
+// legal — the same split encoding/xml uses, so the front-ends agree on every
+// name. Degenerate single-colon names (":", "a:", ":a") are accepted
+// unsplit (see sax.SplitName).
 func (s *Scanner) readNameID() (symEntry, error) {
+	start := s.off
 	b, err := s.readNameBytes()
 	if err != nil {
 		return symEntry{}, err
+	}
+	if e, ok := s.interned[string(b)]; ok {
+		return e, nil // cache hit: validated when first interned
+	}
+	colons := 0
+	for _, c := range b {
+		if c == ':' {
+			colons++
+		}
+	}
+	if colons > 1 || !isXMLName(b) {
+		return symEntry{}, s.syntaxf(start, "invalid XML name %q", b)
 	}
 	return s.intern(b), nil
 }
@@ -446,6 +501,11 @@ func (s *Scanner) scanText() error {
 	if len(s.text) == 0 {
 		s.textAt = s.off
 	}
+	// brackets counts the literal ']' bytes immediately preceding the
+	// current position: the sequence "]]>" must not appear literally in
+	// character data (XML 1.0 §2.4; encoding/xml rejects it too). Escaped
+	// forms (&#93;&#93;&gt;) and runs split by markup are fine.
+	brackets := 0
 	for {
 		c, ok := s.peek()
 		if !ok || c == '<' {
@@ -457,6 +517,7 @@ func (s *Scanner) scanText() error {
 				return err
 			}
 			s.text = append(s.text, r...)
+			brackets = 0
 			continue
 		}
 		if c == '\r' {
@@ -465,14 +526,16 @@ func (s *Scanner) scanText() error {
 				s.advance(1)
 			}
 			s.text = append(s.text, '\n')
+			brackets = 0
 			continue
 		}
-		if c == '>' {
-			// "]]>" must not appear in character data; a lone '>' is
-			// tolerated (browsers and encoding/xml accept it).
-			s.text = append(s.text, c)
-			s.advance(1)
-			continue
+		if c == '>' && brackets >= 2 {
+			return s.syntaxf(s.off, "unescaped ]]> not in CDATA section")
+		}
+		if c == ']' {
+			brackets++
+		} else {
+			brackets = 0
 		}
 		s.text = append(s.text, c)
 		s.advance(1)
@@ -491,7 +554,9 @@ func (s *Scanner) scanReference() (string, error) {
 		s.advance(1)
 		base := 10
 		c, ok = s.peek()
-		if ok && (c == 'x' || c == 'X') {
+		// Only lowercase 'x' marks a hex reference (XML 1.0 §4.1; "&#X"
+		// is rejected, as encoding/xml rejects it).
+		if ok && c == 'x' {
 			base = 16
 			s.advance(1)
 		}
@@ -655,11 +720,58 @@ func parseCharRef(digits string) (rune, error) {
 
 // flushText emits a pending Text event, if any. Whitespace-only text outside
 // the root element is dropped; non-whitespace there is a syntax error.
+// validateChars checks a character-data run (text, CDATA, attribute value —
+// after entity expansion and line-ending normalization) for well-formed
+// UTF-8 and the XML Char production, exactly as encoding/xml does. Comments,
+// processing instructions and skipped directives are not validated — neither
+// front-end looks inside them.
+func (s *Scanner) validateChars(b []byte, at int64) error {
+	for i := 0; i < len(b); {
+		c := b[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 || c == '\t' || c == '\n' || c == '\r' {
+				i++
+				continue
+			}
+			return s.syntaxf(at, "illegal character code %U", rune(c))
+		}
+		r, size := utf8.DecodeRune(b[i:])
+		if r == utf8.RuneError && size == 1 {
+			return s.syntaxf(at, "invalid UTF-8")
+		}
+		if !inCharacterRange(r) {
+			return s.syntaxf(at, "illegal character code %U", r)
+		}
+		i += size
+	}
+	return nil
+}
+
+// internTextValidated resolves a character-data run to its interned string,
+// validating UTF-8 and the XML Char production once per distinct cached run:
+// validation is a pure function of the bytes, so a text-cache hit proves the
+// run was already validated when first interned — repeated feed vocabulary
+// pays one validation pass total, not one per occurrence.
+func (s *Scanner) internTextValidated(b []byte, at int64) (string, error) {
+	if len(b) <= maxTextInternLen {
+		if v, ok := s.textCache[string(b)]; ok {
+			return v, nil
+		}
+	}
+	if err := s.validateChars(b, at); err != nil {
+		return "", err
+	}
+	return s.internText(b), nil
+}
+
 func (s *Scanner) flushText(h sax.Handler) error {
 	if len(s.text) == 0 {
 		return nil
 	}
-	t := s.internText(s.text)
+	t, err := s.internTextValidated(s.text, s.textAt)
+	if err != nil {
+		return err
+	}
 	s.text = s.text[:0]
 	if s.depth == 0 {
 		if strings.TrimLeft(t, " \t\r\n") != "" {
@@ -732,7 +844,11 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 		return err
 	}
 	if selfClose {
-		if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
+		// The synthetic end event of a self-closing tag carries the offset
+		// just past the tag — where an explicit end tag would have begun —
+		// matching encoding/xml's convention (the fuzz differential pins
+		// this).
+		if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, s.off); err != nil {
 			return err
 		}
 		s.closeElement()
@@ -742,6 +858,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 
 // scanAttrValue parses a quoted attribute value with references resolved.
 func (s *Scanner) scanAttrValue() (string, error) {
+	start := s.off
 	q, ok := s.readByte()
 	if !ok {
 		return "", s.syntaxf(s.off, "unexpected EOF, expected attribute value")
@@ -757,7 +874,7 @@ func (s *Scanner) scanAttrValue() (string, error) {
 		}
 		if c == q {
 			s.advance(1)
-			return s.internText(s.valBuf), nil
+			return s.internTextValidated(s.valBuf, start)
 		}
 		if c == '<' {
 			return "", s.syntaxf(s.off, "'<' not allowed in attribute value")
@@ -817,9 +934,23 @@ func (s *Scanner) closeElement() {
 	}
 }
 
-// scanPI skips "<?...?>" (XML declarations and processing instructions).
+// scanPI skips "<?target ...?>" (XML declarations and processing
+// instructions), with encoding/xml's verdicts: the target must be a valid
+// XML name (multi-colon targets are allowed — PI targets are plain names,
+// not QNames), instruction content is not character-validated, and an "<?xml
+// ...?>" declaration whose encoding pseudo-attribute names anything but
+// UTF-8 is rejected (only UTF-8 input is supported, as with BOMs).
 func (s *Scanner) scanPI(start int64) error {
 	s.advance(1) // consume '?'
+	target, err := s.readNameBytes()
+	if err != nil {
+		return s.syntaxf(start, "expected target name after '<?'")
+	}
+	if !isXMLName(target) {
+		return s.syntaxf(start, "invalid XML name %q", target)
+	}
+	isDecl := string(target) == "xml"
+	var inst []byte
 	prev := byte(0)
 	for {
 		c, ok := s.readByte()
@@ -827,15 +958,63 @@ func (s *Scanner) scanPI(start int64) error {
 			return s.syntaxf(start, "unexpected EOF in processing instruction")
 		}
 		if prev == '?' && c == '>' {
-			return nil
+			break
+		}
+		if isDecl {
+			inst = append(inst, c)
 		}
 		prev = c
 	}
+	if isDecl {
+		if n := len(inst); n > 0 {
+			inst = inst[:n-1] // trailing '?' of the terminator
+		}
+		if v := pseudoAttr(string(inst), "version"); v != "" && v != "1.0" {
+			return s.syntaxf(start, "unsupported version %q; only version 1.0 is supported", v)
+		}
+		if enc := pseudoAttr(string(inst), "encoding"); enc != "" && !strings.EqualFold(enc, "utf-8") {
+			return s.syntaxf(start, "unsupported encoding: %q declared in XML declaration (only UTF-8 input is supported)", enc)
+		}
+	}
+	return nil
+}
+
+// pseudoAttr extracts a pseudo-attribute value from an XML declaration's
+// content, with the same lenient scan encoding/xml applies: "param="
+// occurrences not followed by a quote are skipped, and the first quoted one
+// wins (the fuzz differential pins this — giving up at the first unquoted
+// occurrence would accept declarations encoding/xml rejects).
+func pseudoAttr(inst, param string) string {
+	param += "="
+	i := 0
+	var sep byte
+	for i < len(inst) {
+		sub := inst[i:]
+		k := strings.Index(sub, param)
+		if k < 0 || len(param)+k >= len(sub) {
+			return ""
+		}
+		i += len(param) + k + 1
+		if c := sub[len(param)+k]; c == '\'' || c == '"' {
+			sep = c
+			break
+		}
+	}
+	if sep == 0 {
+		return ""
+	}
+	end := strings.IndexByte(inst[i:], sep)
+	if end < 0 {
+		return ""
+	}
+	return inst[i : i+end]
 }
 
 // scanBang dispatches "<!--", "<![CDATA[" and "<!DOCTYPE" with "<!" partially
-// consumed (the '!' is still pending). Comments and DOCTYPE flush pending
-// text; CDATA extends it.
+// consumed (the '!' is still pending). Comments, DOCTYPE and skipped
+// directives flush pending text; CDATA extends it. Markup declarations the
+// scanner does not interpret are skipped with encoding/xml's lax algorithm
+// (skipDirective) so both front-ends accept the same documents.
 func (s *Scanner) scanBang(h sax.Handler, start int64) error {
 	s.advance(1) // consume '!'
 	c, ok := s.peek()
@@ -850,13 +1029,78 @@ func (s *Scanner) scanBang(h sax.Handler, start int64) error {
 		return s.scanComment(start)
 	case c == '[':
 		return s.scanCDATA(start)
-	case c == 'D':
+	case s.hasPrefix("DOCTYPE"):
 		if err := s.flushText(h); err != nil {
 			return err
 		}
 		return s.scanDoctype(start)
 	default:
-		return s.syntaxf(start, "unsupported markup declaration <!%c", c)
+		if err := s.flushText(h); err != nil {
+			return err
+		}
+		// Mirror encoding/xml: the first byte after "<!" is consumed
+		// before the quote/nesting rules engage.
+		s.advance(1)
+		return s.skipDirective(start)
+	}
+}
+
+// skipDirective consumes a "<!...>" markup declaration the scanner does not
+// interpret, byte-for-byte compatible with encoding/xml's directive
+// scanning: quoted literals hide markup characters, '<'...'>' pairs nest,
+// and embedded comments are skipped wholly (without the "--" restriction of
+// real comments). Nothing is emitted; directives only split text runs.
+func (s *Scanner) skipDirective(start int64) error {
+	var quote byte
+	depth := 0
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in markup declaration")
+		}
+	reprocess:
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '>':
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		case c == '<' && depth > 0:
+			depth++
+		case c == '<':
+			// A depth-0 '<' may open an embedded comment. On a partial
+			// match the mismatching byte is reprocessed with the '<'
+			// already counted as nesting — exactly encoding/xml's loop.
+			const lit = "!--"
+			for i := 0; i < len(lit); i++ {
+				nc, ok := s.readByte()
+				if !ok {
+					return s.syntaxf(start, "unexpected EOF in markup declaration")
+				}
+				if nc != lit[i] {
+					depth++
+					c = nc
+					goto reprocess
+				}
+			}
+			var p1, p2 byte
+			for {
+				nc, ok := s.readByte()
+				if !ok {
+					return s.syntaxf(start, "unexpected EOF in markup declaration")
+				}
+				if p1 == '-' && p2 == '-' && nc == '>' {
+					break
+				}
+				p1, p2 = p2, nc
+			}
+		}
 	}
 }
 
@@ -887,37 +1131,47 @@ func (s *Scanner) scanCDATA(start int64) error {
 	if err := s.expect("[CDATA["); err != nil {
 		return err
 	}
-	if s.depth == 0 {
-		return s.syntaxf(start, "CDATA section outside root element")
-	}
+	// A CDATA section outside the root element joins the pending text run
+	// like any character data: flushText rejects it if non-whitespace,
+	// tolerates it otherwise — the same verdicts encoding/xml produces.
 	if len(s.text) == 0 {
 		s.textAt = start
 	}
-	var p1, p2 byte
+	// A two-byte lookbehind window delays content until it cannot be part
+	// of the "]]>" terminator. The window tracks its fill count explicitly:
+	// a byte-value sentinel would silently swallow literal NULs, hiding
+	// them from character validation (a bug the fuzz differential caught).
+	var win [2]byte
+	n := 0
 	prevCR := false
+	emit := func(b byte) {
+		// Line endings normalize here too (XML 1.0 §2.11).
+		switch {
+		case b == '\r':
+			s.text = append(s.text, '\n')
+			prevCR = true
+		case b == '\n' && prevCR:
+			prevCR = false
+		default:
+			s.text = append(s.text, b)
+			prevCR = false
+		}
+	}
 	for {
 		c, ok := s.readByte()
 		if !ok {
 			return s.syntaxf(start, "unexpected EOF in CDATA section")
 		}
-		if p1 == ']' && p2 == ']' && c == '>' {
+		if n == 2 && win[0] == ']' && win[1] == ']' && c == '>' {
 			return nil
 		}
-		// p1 leaves the window; it is confirmed CDATA content. Line
-		// endings normalize here too (XML 1.0 §2.11).
-		if p1 != 0 {
-			switch {
-			case p1 == '\r':
-				s.text = append(s.text, '\n')
-				prevCR = true
-			case p1 == '\n' && prevCR:
-				prevCR = false
-			default:
-				s.text = append(s.text, p1)
-				prevCR = false
-			}
+		if n == 2 {
+			emit(win[0])
+			win[0], win[1] = win[1], c
+		} else {
+			win[n] = c
+			n++
 		}
-		p1, p2 = p2, c
 	}
 }
 

@@ -1,13 +1,13 @@
 package vitex
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/twigm"
-	"repro/internal/xpath"
 )
 
 // QuerySet evaluates several compiled queries over one XML stream in a
@@ -24,89 +24,217 @@ import (
 // large standing set saturates every core without changing a single byte of
 // output.
 //
-// A QuerySet is safe for concurrent Stream calls; Add must not race with
-// them.
+// The set is live: Add, Remove and Replace mutate it between — and safely
+// concurrent with — Stream calls, compiling only the changed query. The
+// engine's membership is versioned in immutable snapshots: a Stream call
+// evaluates the set as of its start, so a stream racing a Remove still
+// delivers the removed query's results, and one racing an Add first sees
+// the new query on the next call. Mutations are serialized against each
+// other by the set's lock. Query indexes are slice-like: Add appends,
+// Remove(i) shifts every index above i down by one, and SetResult.QueryIndex
+// refers to the indexing in force when the Stream began.
 type QuerySet struct {
 	mu      sync.Mutex
-	queries []*Query
 	eng     *engine.Engine
-	// machQuery maps engine machine index -> query index (union queries
-	// contribute one machine per branch); branches counts machines per
-	// query.
+	entries []setEntry
+	// machQuery maps dense machine index (the engine snapshot's order) ->
+	// query index. Rebuilt on every mutation; immutable once published, so
+	// Stream can capture it together with the engine snapshot and use both
+	// without the lock.
 	machQuery []int
-	branches  []int
+}
+
+// setEntry is one standing query: the caller's compiled Query plus the
+// set-engine machines (one per union branch) evaluating it.
+type setEntry struct {
+	q     *Query
+	progs []*twigm.Program
 }
 
 // NewQuerySet compiles all sources into a set. It fails on the first
 // query that does not compile.
 func NewQuerySet(sources ...string) (*QuerySet, error) {
 	qs := &QuerySet{}
+	var err error
+	if qs.eng, err = engine.New(); err != nil {
+		return nil, err
+	}
 	for _, src := range sources {
 		q, err := Compile(src)
 		if err != nil {
 			return nil, err
 		}
-		qs.queries = append(qs.queries, q)
+		if _, err := qs.Add(q); err != nil {
+			return nil, err
+		}
 	}
 	return qs, nil
 }
 
-// Add appends an already-compiled query. The shared dispatch index is
-// relinked on the next Stream.
-func (qs *QuerySet) Add(q *Query) {
+// Add appends an already-compiled query to the live set and returns its
+// query index. Only the new query is compiled into the shared dispatch
+// index; the existing machines, routing tables and pooled sessions are
+// untouched. Streams already running keep the membership they started with.
+func (qs *QuerySet) Add(q *Query) (int, error) {
 	qs.mu.Lock()
-	qs.queries = append(qs.queries, q)
-	qs.eng = nil
-	qs.mu.Unlock()
+	defer qs.mu.Unlock()
+	progs, err := qs.addMachinesLocked(q)
+	if err != nil {
+		return 0, err
+	}
+	qi := len(qs.entries)
+	qs.entries = append(qs.entries, setEntry{q: q, progs: progs})
+	// Added machines take fresh slots at the end of the dense order; the
+	// published view is copy-on-write (in-flight Streams hold the old one).
+	mq := make([]int, len(qs.machQuery), len(qs.machQuery)+len(progs))
+	copy(mq, qs.machQuery)
+	for range progs {
+		mq = append(mq, qi)
+	}
+	qs.machQuery = mq
+	return qi, nil
+}
+
+// addMachinesLocked compiles q's branches into the set engine, rolling back
+// on partial failure.
+func (qs *QuerySet) addMachinesLocked(q *Query) ([]*twigm.Program, error) {
+	progs := make([]*twigm.Program, 0, len(q.progs))
+	for _, bp := range q.progs {
+		p, err := qs.eng.Add(bp.Query())
+		if err != nil {
+			for _, added := range progs {
+				_ = qs.eng.Remove(added)
+			}
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// Remove deletes query i from the live set. Queries after i shift down one
+// index (slice semantics). The removed machines are tombstoned — not
+// recompiled around — and their routing-table slots are reclaimed by a
+// compaction pass once tombstones accumulate. Streams already running still
+// deliver the removed query's results; later streams do not.
+func (qs *QuerySet) Remove(i int) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if i < 0 || i >= len(qs.entries) {
+		return fmt.Errorf("vitex: Remove(%d) on a set of %d queries", i, len(qs.entries))
+	}
+	for _, p := range qs.entries[i].progs {
+		if err := qs.eng.Remove(p); err != nil {
+			return err
+		}
+	}
+	qs.entries = append(qs.entries[:i], qs.entries[i+1:]...)
+	// Drop the removed machines from the dense view and shift the query
+	// indexes above i down by one (slice semantics), copy-on-write.
+	mq := make([]int, 0, len(qs.machQuery))
+	for _, qi := range qs.machQuery {
+		if qi == i {
+			continue
+		}
+		if qi > i {
+			qi--
+		}
+		mq = append(mq, qi)
+	}
+	qs.machQuery = mq
+	return nil
+}
+
+// Replace swaps query i for q, keeping index i. Only q is compiled; when the
+// branch counts match, the new machines reuse the old machines' dispatch
+// slots, so the set's machine ordering is unchanged.
+func (qs *QuerySet) Replace(i int, q *Query) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if i < 0 || i >= len(qs.entries) {
+		return fmt.Errorf("vitex: Replace(%d) on a set of %d queries", i, len(qs.entries))
+	}
+	old := qs.entries[i]
+	if len(q.progs) == len(old.progs) {
+		progs := make([]*twigm.Program, len(q.progs))
+		for b, bp := range q.progs {
+			p, err := qs.eng.Replace(old.progs[b], bp.Query())
+			if err != nil {
+				// Branches already swapped stay swapped; surface the error.
+				// (Compilation of an already-compiled query only fails on
+				// resource exhaustion; there is no clean unwind.)
+				return err
+			}
+			progs[b] = p
+			old.progs[b] = p
+		}
+		// Slots (and so dense positions) are reused: the view is unchanged.
+		qs.entries[i] = setEntry{q: q, progs: progs}
+		return nil
+	}
+	progs, err := qs.addMachinesLocked(q)
+	if err != nil {
+		return err
+	}
+	qs.entries[i] = setEntry{q: q, progs: progs}
+	// Remove the old machines after installing the new entry, then rebuild
+	// the view unconditionally: even if a Remove fails (an engine-invariant
+	// break — the set added these machines itself), the published view must
+	// match the engine snapshot so later Streams fail loudly here, not with
+	// an out-of-range panic on an unrelated call.
+	var firstErr error
+	for _, p := range old.progs {
+		if err := qs.eng.Remove(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	qs.rebuildViewLocked()
+	return firstErr
+}
+
+// rebuildViewLocked recomputes the dense-machine -> query mapping against
+// the engine's current snapshot. O(machines) bookkeeping, no compilation.
+func (qs *QuerySet) rebuildViewLocked() {
+	owner := make(map[*twigm.Program]int, len(qs.entries))
+	for qi := range qs.entries {
+		for _, p := range qs.entries[qi].progs {
+			owner[p] = qi
+		}
+	}
+	progs := qs.eng.Snapshot().Programs()
+	machQuery := make([]int, len(progs))
+	for d, p := range progs {
+		machQuery[d] = owner[p]
+	}
+	qs.machQuery = machQuery
+}
+
+// view captures a consistent (snapshot, machine->query map, query count)
+// triple for one evaluation.
+func (qs *QuerySet) view() (engine.Snapshot, []int, int) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.eng.Snapshot(), qs.machQuery, len(qs.entries)
 }
 
 // Len returns the number of queries in the set.
 func (qs *QuerySet) Len() int {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
-	return len(qs.queries)
+	return len(qs.entries)
 }
 
 // Query returns the i-th query of the set.
 func (qs *QuerySet) Query(i int) *Query {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
-	return qs.queries[i]
-}
-
-// engine returns the set-wide engine, relinking every query's branches
-// against one fresh symbol table when the set changed. Recompilation is
-// linear in total query size (paper claim 2), so this is cheap relative to
-// any stream evaluation.
-func (qs *QuerySet) engineLocked() (*engine.Engine, []int, []int, error) {
-	qs.mu.Lock()
-	defer qs.mu.Unlock()
-	if qs.eng == nil {
-		var parsed []*xpath.Query
-		machQuery := make([]int, 0, len(qs.queries))
-		branches := make([]int, len(qs.queries))
-		for i, q := range qs.queries {
-			for _, p := range q.progs {
-				parsed = append(parsed, p.Query())
-				machQuery = append(machQuery, i)
-			}
-			branches[i] = len(q.progs)
-		}
-		eng, err := engine.New(parsed...)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		qs.eng = eng
-		qs.machQuery = machQuery
-		qs.branches = branches
-	}
-	return qs.eng, qs.machQuery, qs.branches, nil
+	return qs.entries[i].q
 }
 
 // SetResult tags a Result with the index of the query that produced it.
 type SetResult struct {
-	// QueryIndex identifies the query (position in NewQuerySet /Add
-	// order).
+	// QueryIndex identifies the query (position in NewQuerySet/Add order,
+	// as of the Stream call's start).
 	QueryIndex int
 	Result
 }
@@ -117,18 +245,18 @@ type SetResult struct {
 // per-query statistics; scan-level counters (Events, Elements, MaxDepth)
 // describe the one shared scan and are identical across queries.
 func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error) ([]Stats, error) {
-	eng, machQuery, branches, err := qs.engineLocked()
-	if err != nil {
-		return nil, err
-	}
-	nq := len(branches)
+	snap, machQuery, nq := qs.view()
 	// Union branches within one query share a dedup set; ordered union
 	// results are buffered and flushed in document order at end of scan
 	// with their Seq renumbered densely per query (branch-local Seqs are
 	// incomparable).
+	branches := make([]int, nq)
+	for _, qi := range machQuery {
+		branches[qi]++
+	}
 	seen := make([]map[int64]bool, nq)
 	var held []SetResult
-	topts := make([]twigm.Options, eng.Len())
+	topts := make([]twigm.Options, snap.Len())
 	for j := range topts {
 		qi := machQuery[j]
 		union := branches[qi] > 1
@@ -157,12 +285,15 @@ func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error
 			return emit(SetResult{QueryIndex: qi, Result: Result(tr)})
 		}
 	}
-	mstats, err := streamEngine(eng, r, opts, topts)
+	mstats, err := streamEngine(snap, r, opts, topts)
 	stats := make([]Stats, nq)
-	next := 0
+	perQuery := make([][]twigm.Stats, nq)
+	for d := range mstats {
+		qi := machQuery[d]
+		perQuery[qi] = append(perQuery[qi], mstats[d])
+	}
 	for qi := range stats {
-		stats[qi] = engine.MergeStats(mstats[next : next+branches[qi]])
-		next += branches[qi]
+		stats[qi] = engine.MergeStats(perQuery[qi])
 	}
 	if err != nil {
 		return stats, err
@@ -190,15 +321,33 @@ func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error
 }
 
 // Counts evaluates the whole set counting solutions per query, without
-// serializing fragments.
+// serializing fragments. The returned slice has one entry per query of the
+// membership the underlying Stream evaluated — sized from that stream's own
+// snapshot, so a mutation racing the call cannot put an emission out of
+// range.
 func (qs *QuerySet) Counts(r io.Reader) ([]int64, error) {
-	counts := make([]int64, qs.Len())
-	_, err := qs.Stream(r, Options{CountOnly: true}, func(sr SetResult) error {
+	var counts []int64
+	grow := func(n int) {
+		for len(counts) < n {
+			counts = append(counts, 0)
+		}
+	}
+	stats, err := qs.Stream(r, Options{CountOnly: true}, func(sr SetResult) error {
+		grow(sr.QueryIndex + 1)
 		counts[sr.QueryIndex]++
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	grow(len(stats))
 	return counts, nil
+}
+
+// Metrics returns the set engine's churn accounting: compile counts,
+// epoch/compaction numbers and slot occupancy. See engine.Metrics.
+func (qs *QuerySet) Metrics() engine.Metrics {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.eng.Metrics()
 }

@@ -3,8 +3,12 @@ package vitex
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/twigm"
+	"repro/internal/xpath"
 )
 
 func TestQuerySetSingleScan(t *testing.T) {
@@ -68,9 +72,12 @@ func TestQuerySetAdd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qs.Add(MustCompile("//b"))
-	if qs.Len() != 2 {
-		t.Fatalf("len = %d", qs.Len())
+	i, err := qs.Add(MustCompile("//b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 || qs.Len() != 2 {
+		t.Fatalf("index = %d, len = %d", i, qs.Len())
 	}
 	counts, err := qs.Counts(strings.NewReader("<r><b/></r>"))
 	if err != nil {
@@ -78,6 +85,149 @@ func TestQuerySetAdd(t *testing.T) {
 	}
 	if counts[0] != 0 || counts[1] != 1 {
 		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestQuerySetRemove(t *testing.T) {
+	qs, err := NewQuerySet("//a", "//b", "//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if qs.Len() != 2 {
+		t.Fatalf("len = %d", qs.Len())
+	}
+	// Indexes shift down: //c is now query 1.
+	counts, err := qs.Counts(strings.NewReader("<r><a/><b/><c/><c/></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if err := qs.Remove(5); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestQuerySetReplace(t *testing.T) {
+	qs, err := NewQuerySet("//a", "//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same branch count: slot reuse path.
+	if err := qs.Replace(0, MustCompile("//c")); err != nil {
+		t.Fatal(err)
+	}
+	// Different branch count: remove+add path.
+	if err := qs.Replace(1, MustCompile("//a | //b")); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := qs.Counts(strings.NewReader("<r><a/><b/><c/><c/></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if qs.Query(0).Source() != "//c" {
+		t.Fatalf("query 0 = %q", qs.Query(0).Source())
+	}
+}
+
+// TestQuerySetAddCompilesOnlyTheNewQuery is the public-API face of the
+// incremental-churn guarantee: one Add to a 100-query live set compiles
+// exactly the added query's machines, process-wide.
+func TestQuerySetAddCompilesOnlyTheNewQuery(t *testing.T) {
+	qs, err := NewQuerySet(datagen.SparseTickerQueries(10, 90)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile("//trade[symbol='CHURNX']/price | //trade[symbol='CHURNY']/volume")
+	global0 := twigm.CompileCount()
+	engine0 := qs.Metrics().Compiles
+	if _, err := qs.Add(q); err != nil {
+		t.Fatal(err)
+	}
+	if d := twigm.CompileCount() - global0; d != 2 { // one per union branch
+		t.Fatalf("Add compiled %d machines process-wide, want 2", d)
+	}
+	if d := qs.Metrics().Compiles - engine0; d != 2 {
+		t.Fatalf("Add compiled %d machines in the set engine, want 2", d)
+	}
+}
+
+// TestChurnCheaperThanRecompile pins the acceptance floor: an incremental
+// Add+Remove pair on a 100-query live set must be at least 10x cheaper than
+// one full engine recompile (the pre-epoch cost of any mutation). The real
+// ratio is around two orders of magnitude, so the 10x floor has wide margin
+// against timer noise; BenchmarkQuerySetChurn gives the precise numbers.
+func TestChurnCheaperThanRecompile(t *testing.T) {
+	sources := datagen.SparseTickerQueries(10, 90)
+	qs, err := NewQuerySet(sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := MustCompile("//trade[symbol='CHURNX']/price")
+	var parsed []*xpath.Query
+	for _, src := range append(append([]string(nil), sources...), extra.Source()) {
+		qs, err := xpath.ParseUnion(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, qs...)
+	}
+	// Warm up both paths once (symbol maps, allocator) before timing.
+	if idx, err := qs.Add(extra); err != nil {
+		t.Fatal(err)
+	} else if err := qs.Remove(idx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.New(parsed...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wall-clock floors flake when a GC or scheduler stall lands inside the
+	// short fast arm, so the fast arm runs enough reps to amortize one
+	// stall, per-op averages are compared, and a transiently noisy run gets
+	// retried before the test fails.
+	const (
+		incReps = 200
+		recReps = 30
+		retries = 3
+	)
+	for attempt := 1; ; attempt++ {
+		start := time.Now()
+		for i := 0; i < incReps; i++ {
+			idx, err := qs.Add(extra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := qs.Remove(idx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		incremental := time.Since(start) / incReps
+
+		start = time.Now()
+		for i := 0; i < recReps; i++ {
+			if _, err := engine.New(parsed...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recompile := time.Since(start) / recReps
+
+		if recompile >= 10*incremental {
+			t.Logf("attempt %d: churn %v vs recompile %v per op (%.0fx)",
+				attempt, incremental, recompile, float64(recompile)/float64(incremental))
+			return
+		}
+		if attempt == retries {
+			t.Fatalf("incremental churn not 10x cheaper after %d attempts: Add+Remove %v vs recompile %v per op",
+				retries, incremental, recompile)
+		}
 	}
 }
 

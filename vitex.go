@@ -33,7 +33,11 @@
 // allocation. Options.Parallel shards the machines over N worker goroutines
 // fed from one batching scan, with results re-merged into the exact serial
 // emission order — large standing sets saturate every core while staying
-// byte-identical to a serial run.
+// byte-identical to a serial run. A QuerySet is live: Add, Remove and
+// Replace mutate it between (and safely concurrent with) Stream calls,
+// compiling only the changed query — the engine versions its membership in
+// immutable epochs and pooled sessions resync incrementally, so
+// subscription churn costs O(changed query), not O(standing set).
 //
 // Quick start:
 //
@@ -208,7 +212,7 @@ func (q *Query) Stream(r io.Reader, opts Options, emit func(Result) error) (Stat
 				return emit(Result(tr))
 			}
 		}
-		stats, err := streamEngine(q.eng, r, opts, []twigm.Options{topts})
+		stats, err := streamEngine(q.eng.Snapshot(), r, opts, []twigm.Options{topts})
 		return stats[0], err
 	}
 	return q.streamUnion(r, opts, emit)
@@ -216,11 +220,11 @@ func (q *Query) Stream(r io.Reader, opts Options, emit func(Result) error) (Stat
 
 // streamEngine dispatches to the serial or parallel engine entry point per
 // Options.Parallel.
-func streamEngine(eng *engine.Engine, r io.Reader, opts Options, topts []twigm.Options) ([]twigm.Stats, error) {
+func streamEngine(snap engine.Snapshot, r io.Reader, opts Options, topts []twigm.Options) ([]twigm.Stats, error) {
 	if opts.Parallel != 0 && opts.Parallel != 1 {
-		return eng.StreamParallel(r, opts.UseStdParser, topts, opts.Parallel)
+		return snap.StreamParallel(r, opts.UseStdParser, topts, opts.Parallel)
 	}
-	return eng.Stream(r, opts.UseStdParser, topts)
+	return snap.Stream(r, opts.UseStdParser, topts)
 }
 
 // streamUnion evaluates one machine per branch over the shared scan
@@ -250,7 +254,7 @@ func (q *Query) streamUnion(r io.Reader, opts Options, emit func(Result) error) 
 			return nil
 		}
 	}
-	branchStats, err := streamEngine(q.eng, r, opts, topts)
+	branchStats, err := streamEngine(q.eng.Snapshot(), r, opts, topts)
 	stats := engine.MergeStats(branchStats)
 	if err != nil {
 		return stats, err
