@@ -1,0 +1,225 @@
+// Package client is the Go client for vitexd, the streaming XPath
+// subscription server (see internal/server for the broker and wire
+// protocol). It covers the whole lifecycle: register and replace standing
+// subscriptions on named channels, publish documents, and consume the
+// NDJSON result stream incrementally.
+//
+// Quick start:
+//
+//	cl := client.New("http://localhost:8344")
+//	sub, _ := cl.Subscribe(ctx, "news", "//story[@section='tech']/headline/text()")
+//	stream, _ := cl.Results(ctx, "news", sub.ID)
+//	go func() {
+//		for {
+//			d, err := stream.Next()
+//			if err != nil { return }
+//			if d.Type == server.DeliveryResult { fmt.Println(d.Value) }
+//		}
+//	}()
+//	cl.Publish(ctx, "news", strings.NewReader(feedXML))
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// Client talks to one vitexd instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the server at base (e.g. "http://127.0.0.1:8344").
+// The underlying http.Client has no timeout: result streams are long-lived.
+// Use NewWithHTTPClient to customize transport behavior.
+func New(base string) *Client {
+	return NewWithHTTPClient(base, &http.Client{})
+}
+
+// NewWithHTTPClient builds a client using the given http.Client. Do not set
+// hc.Timeout if you consume result streams — it would sever them.
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx answer decoded from the server's structured error
+// body.
+type APIError struct {
+	Status int
+	server.ErrorResponse
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("vitexd: HTTP %d: %s", e.Status, e.ErrorResponse.Error)
+}
+
+// decodeError consumes a non-2xx response body.
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(body, &apiErr.ErrorResponse); err != nil || apiErr.ErrorResponse.Error == "" {
+		apiErr.ErrorResponse.Error = strings.TrimSpace(string(body))
+		if apiErr.ErrorResponse.Error == "" {
+			apiErr.ErrorResponse.Error = resp.Status
+		}
+	}
+	return apiErr
+}
+
+// subsPath builds the escaped subscription-collection path for a channel;
+// names with path metacharacters round-trip safely.
+func subsPath(channel string) string {
+	return "/channels/" + url.PathEscape(channel) + "/subscriptions"
+}
+
+// do runs one request and decodes a JSON answer into out (unless nil).
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Subscribe registers an XPath query on the channel (created on first use)
+// and returns its subscription id.
+func (c *Client) Subscribe(ctx context.Context, channel, query string) (*server.SubscribeResponse, error) {
+	var out server.SubscribeResponse
+	err := c.do(ctx, http.MethodPost, subsPath(channel), strings.NewReader(query), &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Replace swaps the subscription's query in place; the id and any attached
+// result stream survive.
+func (c *Client) Replace(ctx context.Context, channel, id, query string) (*server.SubscribeResponse, error) {
+	var out server.SubscribeResponse
+	err := c.do(ctx, http.MethodPut, subsPath(channel)+"/"+url.PathEscape(id), strings.NewReader(query), &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Unsubscribe removes the subscription; its result stream ends with an
+// "end" delivery.
+func (c *Client) Unsubscribe(ctx context.Context, channel, id string) error {
+	return c.do(ctx, http.MethodDelete, subsPath(channel)+"/"+url.PathEscape(id), nil, nil)
+}
+
+// Publish ingests one XML document synchronously: it returns after the
+// document was evaluated against every standing subscription (Results and
+// Events report the outcome). Malformed documents return an *APIError whose
+// Offset locates the syntax error; subscribers receive a gap marker for the
+// same DocSeq.
+func (c *Client) Publish(ctx context.Context, channel string, doc io.Reader) (*server.PublishResponse, error) {
+	var out server.PublishResponse
+	err := c.do(ctx, http.MethodPost, "/channels/"+url.PathEscape(channel)+"/documents", doc, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PublishAsync enqueues one XML document and returns as soon as it is
+// accepted into the channel's ingest queue.
+func (c *Client) PublishAsync(ctx context.Context, channel string, doc io.Reader) (*server.PublishResponse, error) {
+	var out server.PublishResponse
+	err := c.do(ctx, http.MethodPost, "/channels/"+url.PathEscape(channel)+"/documents?async=1", doc, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteChannel removes a channel: queued documents drain, every
+// subscription stream ends, and the name becomes available again.
+func (c *Client) DeleteChannel(ctx context.Context, channel string) error {
+	return c.do(ctx, http.MethodDelete, "/channels/"+url.PathEscape(channel), nil, nil)
+}
+
+// Metrics fetches the broker's counters.
+func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
+	var out server.MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Results attaches to the subscription's result stream. At most one
+// consumer may be attached at a time (a second attach gets HTTP 409).
+// Cancel ctx to detach; the subscription and its buffer survive for a
+// reconnect.
+func (c *Client) Results(ctx context.Context, channel, id string) (*ResultStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+subsPath(channel)+"/"+url.PathEscape(id)+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	// NDJSON is a stream of concatenated JSON values; json.Decoder consumes
+	// it incrementally with no line-length ceiling (result values carry
+	// whole serialized XML fragments, as large as a published document).
+	return &ResultStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// ResultStream iterates a subscription's NDJSON deliveries.
+type ResultStream struct {
+	body  io.ReadCloser
+	dec   *json.Decoder
+	ended bool
+}
+
+// Next returns the next delivery. After an "end" delivery (which is
+// returned to the caller), or when the stream is severed, Next returns
+// io.EOF.
+func (s *ResultStream) Next() (*server.Delivery, error) {
+	if s.ended {
+		return nil, io.EOF
+	}
+	var d server.Delivery
+	if err := s.dec.Decode(&d); err != nil {
+		s.ended = true
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("vitexd: malformed delivery line: %w", err)
+	}
+	if d.Type == server.DeliveryEnd {
+		s.ended = true
+	}
+	return &d, nil
+}
+
+// Close severs the stream (the server keeps the subscription).
+func (s *ResultStream) Close() error { return s.body.Close() }

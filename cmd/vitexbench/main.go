@@ -147,6 +147,9 @@ func run(args []string, stdout io.Writer) error {
 		if err := benchWorkloads(*benchDir, *trades, stdout); err != nil {
 			return fmt.Errorf("bench: %w", err)
 		}
+		if err := serverThroughput(*benchDir, *trades, stdout); err != nil {
+			return fmt.Errorf("bench: server_throughput: %w", err)
+		}
 	}
 	return nil
 }

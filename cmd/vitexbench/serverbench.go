@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// ServerScaleRecord is one standing-set size of the server_throughput
+// workload: end-to-end performance of the full wire path — HTTP ingest,
+// bounded queue, shared-scan evaluation, NDJSON delivery to an attached
+// consumer per subscription — over loopback.
+type ServerScaleRecord struct {
+	Queries    int     `json:"queries"`
+	Docs       int     `json:"docs"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	// ResultsPerSec counts deliveries consumed from the wire, not just
+	// evaluated.
+	ResultsPerSec float64 `json:"results_per_sec"`
+	Results       int64   `json:"results"`
+	NsPerDoc      float64 `json:"ns_per_doc"`
+}
+
+// ServerBenchRecord is the BENCH_server_throughput.json payload.
+type ServerBenchRecord struct {
+	Name        string              `json:"name"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	CorpusBytes int                 `json:"corpus_bytes"`
+	Policy      string              `json:"policy"`
+	Scales      []ServerScaleRecord `json:"scales"`
+}
+
+// serverThroughput measures end-to-end docs/sec through a live vitexd
+// broker over loopback at 1 and 100 standing queries, and writes
+// BENCH_server_throughput.json. Numbers are comparable against the
+// queryset_1/queryset_100 library workloads: the delta is the full serving
+// overhead (HTTP framing, queueing, ring hand-off, JSON encoding).
+func serverThroughput(dir string, trades int, out io.Writer) error {
+	doc := datagen.Ticker{Trades: trades, Seed: 1}.String()
+	rec := &ServerBenchRecord{
+		Name:        "server_throughput",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CorpusBytes: len(doc),
+		Policy:      server.PolicyBlock.String(),
+	}
+	for _, queries := range []int{1, 100} {
+		scale, err := measureServerScale(doc, queries)
+		if err != nil {
+			return fmt.Errorf("scale %d: %w", queries, err)
+		}
+		rec.Scales = append(rec.Scales, *scale)
+		fmt.Fprintf(out, "%-24s %8.1f docs/s %12.0f results/s  (%d queries, %d docs)\n",
+			"server_throughput", scale.DocsPerSec, scale.ResultsPerSec, queries, scale.Docs)
+	}
+	path := filepath.Join(dir, "BENCH_server_throughput.json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-24s -> %s\n", "server_throughput", path)
+	return nil
+}
+
+func measureServerScale(doc string, queries int) (*ServerScaleRecord, error) {
+	b := server.New(server.Config{RingSize: 1 << 14, Policy: server.PolicyBlock})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: server.Handler(b)}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+		srv.Shutdown(ctx)
+	}()
+
+	cl := client.New("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	matching := (queries + 9) / 10
+	sources := datagen.SparseTickerQueries(matching, queries-matching)
+	var consumed int64
+	var consumers sync.WaitGroup
+	var mu sync.Mutex
+	for _, q := range sources {
+		resp, err := cl.Subscribe(ctx, "bench", q)
+		if err != nil {
+			return nil, err
+		}
+		stream, err := cl.Results(ctx, "bench", resp.ID)
+		if err != nil {
+			return nil, err
+		}
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			defer stream.Close()
+			var n int64
+			for {
+				d, err := stream.Next()
+				if err != nil || d.Type == server.DeliveryEnd {
+					mu.Lock()
+					consumed += n
+					mu.Unlock()
+					return
+				}
+				if d.Type == server.DeliveryResult {
+					n++
+				}
+			}
+		}()
+	}
+
+	publishOne := func() (int64, error) {
+		resp, err := cl.Publish(ctx, "bench", strings.NewReader(doc))
+		if err != nil {
+			return 0, err
+		}
+		return resp.Results, nil
+	}
+	// Warm up the pooled sessions. The warm-up doc's deliveries reach the
+	// consumers too (they attached at subscribe time); remember its match
+	// count so the consumed total can be corrected to the measured window.
+	warmupResults, err := publishOne()
+	if err != nil {
+		return nil, err
+	}
+	const minBenchTime = 2 * time.Second
+	start := time.Now()
+	docs := 0
+	for time.Since(start) < minBenchTime {
+		if _, err := publishOne(); err != nil {
+			return nil, err
+		}
+		docs++
+	}
+	elapsed := time.Since(start)
+
+	// End the streams so consumer counts settle, then collect them.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := b.Shutdown(sctx); err != nil {
+		return nil, err
+	}
+	consumers.Wait()
+	// Block policy + drain: every evaluated delivery was consumed, so the
+	// warm-up's share subtracts exactly.
+	consumed -= warmupResults
+
+	nsPerDoc := float64(elapsed.Nanoseconds()) / float64(docs)
+	return &ServerScaleRecord{
+		Queries:       queries,
+		Docs:          docs,
+		DocsPerSec:    float64(docs) / elapsed.Seconds(),
+		ResultsPerSec: float64(consumed) / elapsed.Seconds(),
+		Results:       consumed,
+		NsPerDoc:      nsPerDoc,
+	}, nil
+}

@@ -1,0 +1,119 @@
+// Command vitexd is the streaming XPath subscription daemon: the ViteX
+// paper's publish/subscribe deployment as a network service. Clients
+// register standing XPath subscriptions against named channels, publishers
+// POST XML documents, and matches stream back incrementally as NDJSON —
+// one live QuerySet per channel, so subscription churn compiles only the
+// changed query and every document is parsed exactly once per channel.
+//
+// Usage:
+//
+//	vitexd [-addr :8344] [-workers N] [-queue 64] [-ring 256]
+//	       [-policy block|drop] [-parallel 0] [-drain 15s]
+//
+// The wire protocol (see the repository README, "Serving"):
+//
+//	POST   /channels/{ch}/subscriptions          XPath text -> {"id": ...}
+//	PUT    /channels/{ch}/subscriptions/{id}     XPath text (replace in place)
+//	DELETE /channels/{ch}/subscriptions/{id}
+//	POST   /channels/{ch}/documents              XML body (?async=1 to queue)
+//	GET    /channels/{ch}/subscriptions/{id}/results   NDJSON stream
+//	GET    /metrics
+//	GET    /healthz
+//
+// SIGINT/SIGTERM triggers a graceful drain: ingestion stops, queued
+// documents finish evaluating, every proven result is delivered, result
+// streams end with an "end" line — bounded by -drain, after which
+// in-flight evaluations are canceled (subscribers see gap markers).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "vitexd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is canceled, then drains.
+// ready (when non-nil) receives the bound address once the server is
+// listening — the hook the e2e tests and -addr :0 use.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("vitexd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "max concurrently-evaluating channels (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "per-channel ingest queue depth")
+	ring := fs.Int("ring", 256, "per-subscription result buffer size")
+	policy := fs.String("policy", "block", "slow-consumer policy: block (back-pressure) or drop (gap markers)")
+	parallel := fs.Int("parallel", 0, "within-document sharded evaluation workers (0/1 serial, -1 GOMAXPROCS)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	b := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		RingSize:   *ring,
+		Policy:     pol,
+		Parallel:   *parallel,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.Handler(b)}
+	fmt.Fprintf(stdout, "vitexd listening on %s (policy=%s workers=%d queue=%d ring=%d parallel=%d)\n",
+		ln.Addr(), pol, b.Config().Workers, *queue, *ring, *parallel)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "vitexd draining (budget %s)...\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Broker first: admission stops, queues run dry, result streams end —
+	// which is what lets the HTTP server's own Shutdown finish promptly.
+	if err := b.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stdout, "vitexd: drain incomplete: %v\n", err)
+	}
+	// A fresh budget for the HTTP listener: with the broker drained its
+	// handlers finish immediately, but don't let an expired drain context
+	// turn the close into a hard connection reset.
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "vitexd stopped")
+	return nil
+}

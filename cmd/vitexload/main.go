@@ -1,0 +1,169 @@
+// Command vitexload drives a running vitexd with the paper's subscription
+// workload: it registers N standing XPath queries on one channel, attaches
+// a result consumer to every subscription, publishes a stream of generated
+// ticker documents from P concurrent publishers, and reports end-to-end
+// throughput — documents/sec through the full wire path (HTTP ingest,
+// shared-scan evaluation, per-subscription NDJSON delivery).
+//
+// Usage:
+//
+//	vitexload [-addr http://127.0.0.1:8344] [-channel load] [-queries 100]
+//	          [-docs 50] [-trades 2000] [-publishers 2] [-unsubscribe]
+//
+// Exit status is non-zero when any request fails or when a channel that
+// should have matched delivers nothing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vitexload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vitexload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8344", "vitexd base URL")
+	channelName := fs.String("channel", "load", "channel to drive")
+	queries := fs.Int("queries", 100, "standing subscriptions to register (10%% match the feed)")
+	docs := fs.Int("docs", 50, "documents to publish")
+	trades := fs.Int("trades", 2000, "trades per generated document")
+	publishers := fs.Int("publishers", 2, "concurrent synchronous publishers")
+	unsubscribe := fs.Bool("unsubscribe", true, "unsubscribe everything when done")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := client.New(*addr)
+
+	// The sparse mix of the engine benchmarks: 10% of the standing set
+	// matches ticker vocabulary, the rest is dead weight the routed
+	// dispatch must not pay for.
+	matching := (*queries + 9) / 10
+	sources := datagen.SparseTickerQueries(matching, *queries-matching)
+
+	ids := make([]string, 0, len(sources))
+	for _, q := range sources {
+		resp, err := cl.Subscribe(ctx, *channelName, q)
+		if err != nil {
+			return fmt.Errorf("subscribe %q: %w", q, err)
+		}
+		ids = append(ids, resp.ID)
+	}
+	fmt.Fprintf(stdout, "registered %d subscriptions on %q\n", len(ids), *channelName)
+
+	// One consumer per subscription, counting deliveries until its stream
+	// ends or the run context is canceled.
+	var results, gaps atomic.Int64
+	var consumers sync.WaitGroup
+	streamCtx, stopStreams := context.WithCancel(ctx)
+	defer stopStreams()
+	for _, id := range ids {
+		stream, err := cl.Results(streamCtx, *channelName, id)
+		if err != nil {
+			return fmt.Errorf("attach %s: %w", id, err)
+		}
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			defer stream.Close()
+			for {
+				d, err := stream.Next()
+				if err != nil {
+					return
+				}
+				switch d.Type {
+				case server.DeliveryResult:
+					results.Add(1)
+				case server.DeliveryGap:
+					gaps.Add(1)
+				case server.DeliveryEnd:
+					return
+				}
+			}
+		}()
+	}
+
+	// Publish: P goroutines, synchronous posts (each completes evaluation),
+	// distinct seeds so documents differ.
+	var published, matched atomic.Int64
+	var firstErr error
+	var errOnce sync.Once
+	var pubs sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < *docs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	start := time.Now()
+	for p := 0; p < *publishers; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := range next {
+				doc := datagen.Ticker{Trades: *trades, Seed: int64(i + 1)}.String()
+				resp, err := cl.Publish(ctx, *channelName, strings.NewReader(doc))
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("publish doc %d: %w", i, err) })
+					cancel()
+					return
+				}
+				published.Add(1)
+				matched.Add(resp.Results)
+			}
+		}()
+	}
+	pubs.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Give consumers a moment to drain what the final publishes buffered,
+	// then detach.
+	deadline := time.Now().Add(10 * time.Second)
+	for results.Load() < matched.Load() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stopStreams()
+	consumers.Wait()
+
+	if *unsubscribe {
+		for _, id := range ids {
+			if err := cl.Unsubscribe(context.Background(), *channelName, id); err != nil && !errors.Is(err, context.Canceled) {
+				return fmt.Errorf("unsubscribe %s: %w", id, err)
+			}
+		}
+	}
+
+	docsPerSec := float64(published.Load()) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "published %d docs (%d trades each) in %.2fs: %.1f docs/sec end-to-end\n",
+		published.Load(), *trades, elapsed.Seconds(), docsPerSec)
+	fmt.Fprintf(stdout, "matches: %d evaluated, %d delivered to consumers, %d gap markers\n",
+		matched.Load(), results.Load(), gaps.Load())
+	if published.Load() > 0 && matched.Load() == 0 {
+		return fmt.Errorf("no matches produced; the matching subscriptions should have fired")
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestLoadAgainstInProcessServer runs the generator against an in-process
+// broker and checks it reports end-to-end throughput and matches.
+func TestLoadAgainstInProcessServer(t *testing.T) {
+	b := server.New(server.Config{RingSize: 8192})
+	ts := httptest.NewServer(server.Handler(b))
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+	}()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-queries", "20",
+		"-docs", "6",
+		"-trades", "200",
+		"-publishers", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("vitexload: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"registered 20 subscriptions", "docs/sec end-to-end", "delivered to consumers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

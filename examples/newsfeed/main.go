@@ -1,17 +1,30 @@
 // Newsfeed demonstrates the "electronic personalized newspapers" motivation
-// of the paper's introduction with the QuerySet API: many standing
-// subscriptions evaluated over a single sequential scan of one feed. Each
-// subscriber registers an XPath query; the feed is parsed once and every
-// TwigM machine advances on the same event stream — the multi-query
-// deployment a stream system actually runs.
+// of the paper's introduction, end to end over the wire: it boots a live
+// vitexd broker on loopback, registers each subscriber's standing XPath
+// query over HTTP, publishes the feed once, and streams every subscriber's
+// matches back as NDJSON — the publish/subscribe deployment the paper
+// motivates, running the same shared-scan engine the library exposes (the
+// feed is parsed once per channel, however many subscriptions stand).
+//
+// The wire protocol in play (see README "Serving"):
+//
+//	POST /channels/news/subscriptions            XPath text -> {"id": "s1"}
+//	GET  /channels/news/subscriptions/s1/results NDJSON deliveries
+//	POST /channels/news/documents                the feed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"strings"
+	"sync"
+	"time"
 
-	vitex "repro"
+	"repro/client"
+	"repro/internal/server"
 )
 
 const feed = `
@@ -40,6 +53,22 @@ const feed = `
 </feed>`
 
 func main() {
+	// A live vitexd: broker + HTTP API on a loopback port. In production
+	// this is `vitexd -addr :8344` in its own process; the wire protocol is
+	// identical.
+	broker := server.New(server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.Handler(broker)}
+	go srv.Serve(ln)
+	fmt.Printf("vitexd serving on %s\n\n", ln.Addr())
+
+	cl := client.New("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	subscribers := []struct {
 		name  string
 		query string
@@ -50,34 +79,51 @@ func main() {
 		{"dave (bylined stories)", "//story[byline]/@id"},
 	}
 
-	sources := make([]string, len(subscribers))
-	for i, s := range subscribers {
-		sources[i] = s.query
+	// Register every subscription over the wire and attach its NDJSON
+	// result stream; each consumer prints deliveries as they arrive.
+	var wg sync.WaitGroup
+	for _, s := range subscribers {
+		resp, err := cl.Subscribe(ctx, "news", s.query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream, err := cl.Results(ctx, "news", resp.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			defer stream.Close()
+			for {
+				d, err := stream.Next()
+				if err != nil {
+					return
+				}
+				switch d.Type {
+				case server.DeliveryResult:
+					fmt.Printf("  -> %-32s %s\n", name, d.Value)
+				case server.DeliveryEnd:
+					return
+				}
+			}
+		}(s.name)
 	}
-	qs, err := vitex.NewQuerySet(sources...)
+
+	fmt.Printf("%d subscriptions on channel \"news\", publishing the feed once:\n\n", len(subscribers))
+	pub, err := cl.Publish(ctx, "news", strings.NewReader(feed))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%d subscriptions, one scan of the feed:\n\n", qs.Len())
-	// Parallel: -1 shards the machines over GOMAXPROCS workers; results
-	// and their order are byte-identical to a serial run, and this
-	// callback still executes sequentially on this goroutine.
-	stats, err := qs.Stream(strings.NewReader(feed), vitex.Options{Parallel: -1}, func(r vitex.SetResult) error {
-		fmt.Printf("  -> %-32s %s\n", subscribers[r.QueryIndex].name, r.Value)
-		return nil
-	})
-	if err != nil {
+	// Graceful drain: every proven result is delivered, every stream ends
+	// with an explicit end marker, then the daemon exits.
+	if err := broker.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nfeed parsed once: %d events drove %d machines (%d total stack pushes)\n",
-		stats[0].Events, qs.Len(), sumPushes(stats))
-}
+	wg.Wait()
+	srv.Shutdown(ctx)
 
-func sumPushes(stats []vitex.Stats) int64 {
-	var n int64
-	for _, s := range stats {
-		n += s.Pushes
-	}
-	return n
+	fmt.Printf("\nfeed parsed once: %d events drove %d subscriptions, %d matches delivered over the wire\n",
+		pub.Events, len(subscribers), pub.Results)
 }

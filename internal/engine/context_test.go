@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/twigm"
+)
+
+// ctxDoc builds a document with n matches for //a/b.
+func ctxDoc(n int) string {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<a><b>x</b></a>")
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+// cancelAfterReader cancels a context after the first Read call, simulating
+// an external cancellation (deadline, disconnecting client) landing while
+// the scan is consuming the stream.
+type cancelAfterReader struct {
+	r      io.Reader
+	cancel context.CancelFunc
+	fired  bool
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if !c.fired {
+		c.fired = true
+		c.cancel()
+	}
+	return n, err
+}
+
+func countingOpts(n int, count *int64) []twigm.Options {
+	opts := make([]twigm.Options, n)
+	for i := range opts {
+		opts[i] = twigm.Options{Emit: func(twigm.Result) error {
+			*count++
+			return nil
+		}}
+	}
+	return opts
+}
+
+// streamWith runs either the serial or the parallel context entry point.
+func streamWith(e *Engine, ctx context.Context, r io.Reader, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
+	if workers > 1 {
+		return e.StreamParallelContext(ctx, r, false, opts, workers)
+	}
+	return e.StreamContext(ctx, r, false, opts)
+}
+
+// TestCancelDuringScan: a context canceled while the scan is mid-document
+// aborts the evaluation promptly with ctx.Err(), in both the serial and the
+// sharded-parallel engine loops.
+func TestCancelDuringScan(t *testing.T) {
+	const matches = 5000
+	doc := ctxDoc(matches)
+	for _, workers := range []int{1, 2} {
+		e := mustEngine(t, "//a/b", "//a/b/text()")
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var count int64
+		r := &cancelAfterReader{r: strings.NewReader(doc), cancel: cancel}
+		_, err := streamWith(e, ctx, r, countingOpts(e.Len(), &count), workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if count >= 2*matches {
+			t.Fatalf("workers=%d: %d results delivered after cancellation (full doc = %d)", workers, count, 2*matches)
+		}
+	}
+}
+
+// TestCancelDuringEmit: an Emit callback canceling the context stops the
+// stream before any further result is delivered, and the evaluation reports
+// ctx.Err() even though the callback itself returned nil.
+func TestCancelDuringEmit(t *testing.T) {
+	doc := ctxDoc(2000)
+	for _, workers := range []int{1, 2} {
+		e := mustEngine(t, "//a/b", "//a/b/text()")
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var count int64
+		opts := make([]twigm.Options, e.Len())
+		for i := range opts {
+			opts[i] = twigm.Options{Emit: func(twigm.Result) error {
+				count++
+				if count == 1 {
+					cancel()
+				}
+				return nil
+			}}
+		}
+		_, err := streamWith(e, ctx, strings.NewReader(doc), opts, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if count != 1 {
+			t.Fatalf("workers=%d: %d results delivered, want exactly 1 (none after cancel)", workers, count)
+		}
+	}
+}
+
+// TestPreCanceledContext: evaluation with an already-canceled context does
+// no machine work at all.
+func TestPreCanceledContext(t *testing.T) {
+	doc := ctxDoc(100)
+	for _, workers := range []int{1, 2} {
+		e := mustEngine(t, "//a/b", "//a/b/text()")
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var count int64
+		stats, err := streamWith(e, ctx, strings.NewReader(doc), countingOpts(e.Len(), &count), workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if count != 0 {
+			t.Fatalf("workers=%d: %d results delivered on a pre-canceled context", workers, count)
+		}
+		if len(stats) > 0 && stats[0].Pushes != 0 {
+			t.Fatalf("workers=%d: machine pushed %d entries on a pre-canceled context", workers, stats[0].Pushes)
+		}
+	}
+}
+
+// TestDeadlineExceededSurfaces: a context that dies by deadline reports
+// DeadlineExceeded, not Canceled — the engine must return ctx.Err(), not a
+// sentinel of its own.
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	e := mustEngine(t, "//a/b")
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer dcancel()
+	var count int64
+	_, err := e.StreamContext(dctx, strings.NewReader(ctxDoc(10)), false, countingOpts(e.Len(), &count))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestContextlessStreamUnchanged: the plain Stream entry points must be
+// unaffected by the cancellation plumbing.
+func TestContextlessStreamUnchanged(t *testing.T) {
+	e := mustEngine(t, "//a/b")
+	var count int64
+	_, err := e.Stream(strings.NewReader(ctxDoc(50)), false, countingOpts(e.Len(), &count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("count = %d, want 50", count)
+	}
+}

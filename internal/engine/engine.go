@@ -44,6 +44,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -147,6 +148,12 @@ func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([
 	return e.Snapshot().Stream(r, useStdParser, opts)
 }
 
+// StreamContext is Stream honoring a cancellation context; it is
+// Snapshot().StreamContext.
+func (e *Engine) StreamContext(ctx context.Context, r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
+	return e.Snapshot().StreamContext(ctx, r, useStdParser, opts)
+}
+
 // Stream evaluates every machine of the snapshot over one scan of r. opts[i]
 // configures machine i (emit callbacks and modes); len(opts) must equal
 // Len(). The returned per-machine statistics carry the shared scan's Events,
@@ -156,6 +163,16 @@ func (e *Engine) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([
 // shared scan's event clock and match what a broadcast evaluation would
 // report.
 func (s Snapshot) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
+	return s.StreamContext(context.Background(), r, useStdParser, opts)
+}
+
+// StreamContext is Stream honoring a cancellation context: the scan checks
+// ctx at every event, so cancellation — from a caller's deadline, or from
+// inside an Emit callback — aborts the evaluation promptly mid-document and
+// returns ctx.Err(). The per-event check is a single non-blocking channel
+// poll and is skipped entirely for contexts that cannot be canceled
+// (context.Background/TODO), so the hot path is unchanged.
+func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser bool, opts []twigm.Options) ([]twigm.Stats, error) {
 	e, ep := s.eng, s.ep
 	if len(opts) != len(ep.live) {
 		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(ep.live))
@@ -167,6 +184,7 @@ func (s Snapshot) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) (
 	defer e.pool.Put(ses)
 	ses.sync(ep)
 	ses.reset(opts)
+	ses.ctx, ses.done = ctx, ctx.Done()
 
 	var drv sax.Driver
 	if useStdParser {
@@ -176,6 +194,13 @@ func (s Snapshot) Stream(r io.Reader, useStdParser bool, opts []twigm.Options) (
 		drv = ses.scan
 	}
 	err := drv.Run(ses)
+	if err == nil && ses.done != nil {
+		// A cancellation racing the final events (e.g. an Emit callback
+		// canceling on the document's last result) still reports ctx.Err(),
+		// so cancel-during-emit is deterministic wherever the result falls.
+		err = ses.ctx.Err()
+	}
+	ses.ctx, ses.done = nil, nil
 	stats := make([]twigm.Stats, len(ep.live))
 	for d, slot := range ep.live {
 		st := ses.runs[slot].Stats()
@@ -197,6 +222,12 @@ type session struct {
 	runs []*twigm.Run // slot -> run (nil for tombstoned slots)
 	rt   router
 	scan *xmlscan.Scanner
+
+	// Cancellation for the stream in flight: done is ctx.Done(), cached so
+	// the per-event poll is one channel read; nil when the context cannot be
+	// canceled. Cleared before the session returns to the pool.
+	ctx  context.Context
+	done <-chan struct{}
 
 	// Shared-scan counters.
 	events   int64
@@ -268,6 +299,13 @@ func (s *session) reset(opts []twigm.Options) {
 // HandleEvent implements sax.Handler: it counts the scan's shared-level
 // quantities and routes the event to the machines subscribed to it.
 func (s *session) HandleEvent(ev *sax.Event) error {
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return s.ctx.Err()
+		default:
+		}
+	}
 	s.events++
 	if ev.Kind == sax.StartElement {
 		s.elements++

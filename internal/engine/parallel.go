@@ -42,6 +42,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -69,6 +70,12 @@ func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Opt
 	return e.Snapshot().StreamParallel(r, useStdParser, opts, workers)
 }
 
+// StreamParallelContext is StreamParallel honoring a cancellation context;
+// it is Snapshot().StreamParallelContext.
+func (e *Engine) StreamParallelContext(ctx context.Context, r io.Reader, useStdParser bool, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
+	return e.Snapshot().StreamParallelContext(ctx, r, useStdParser, opts, workers)
+}
+
 // StreamParallel evaluates every machine of the snapshot over one scan of r
 // using the given number of worker goroutines (workers <= 0 means
 // GOMAXPROCS). Results, statistics, per-query Seq numbers and
@@ -77,6 +84,15 @@ func (e *Engine) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Opt
 // serial emission order. Evaluations with a Trace writer, fewer than two
 // machines or fewer than two workers fall back to the serial path.
 func (s Snapshot) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
+	return s.StreamParallelContext(context.Background(), r, useStdParser, opts, workers)
+}
+
+// StreamParallelContext is StreamParallel honoring a cancellation context:
+// the scan goroutine checks ctx at every event and the merge loop before
+// every emission, so cancellation — from a caller's deadline, or from inside
+// an Emit callback — aborts the evaluation promptly mid-document and returns
+// ctx.Err(). Contexts that cannot be canceled cost nothing on the scan path.
+func (s Snapshot) StreamParallelContext(ctx context.Context, r io.Reader, useStdParser bool, opts []twigm.Options, workers int) ([]twigm.Stats, error) {
 	e, ep := s.eng, s.ep
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -92,7 +108,7 @@ func (s Snapshot) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Op
 		}
 	}
 	if workers < 2 || traced {
-		return s.Stream(r, useStdParser, opts)
+		return s.StreamContext(ctx, r, useStdParser, opts)
 	}
 	if len(opts) != len(ep.live) {
 		return nil, fmt.Errorf("engine: %d option sets for %d machines", len(opts), len(ep.live))
@@ -105,6 +121,9 @@ func (s Snapshot) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Op
 	defer e.ppool.Put(ps)
 	ps.sync(ep)
 	ps.reset(opts)
+	done := ctx.Done()
+	ps.prod.ctx, ps.prod.done = ctx, done
+	defer func() { ps.prod.ctx, ps.prod.done = nil, nil }()
 
 	var drv sax.Driver
 	if useStdParser {
@@ -168,6 +187,19 @@ func (s Snapshot) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Op
 			em := &fronts[best].emissions[fronts[best].next]
 			fronts[best].next++
 			if emit := opts[ep.liveIdx[em.mach]].Emit; emit != nil {
+				if done != nil {
+					// Cancellation (possibly from the previous emit call)
+					// stops delivery before the next result goes out.
+					select {
+					case <-done:
+						emitErr = ctx.Err()
+						prod.abort.Store(true)
+					default:
+					}
+					if emitErr != nil {
+						break
+					}
+				}
 				if err := emit(em.res); err != nil {
 					emitErr = err
 					prod.abort.Store(true)
@@ -196,6 +228,14 @@ func (s Snapshot) StreamParallel(r io.Reader, useStdParser bool, opts []twigm.Op
 	}
 	if scanErr != nil && scanErr != errAborted {
 		return stats, scanErr
+	}
+	if done != nil {
+		// As in the serial path: a cancellation racing the final events is
+		// still reported, so cancel-during-emit is deterministic wherever
+		// the result falls in the document.
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 	}
 	return stats, nil
 }
@@ -425,6 +465,12 @@ type producer struct {
 	elements int64
 	maxDepth int
 	abort    atomic.Bool
+
+	// Cancellation for the stream in flight: done is ctx.Done(), polled per
+	// event; nil when the context cannot be canceled. Cleared when the
+	// session returns to the pool.
+	ctx  context.Context
+	done <-chan struct{}
 }
 
 func (p *producer) reset() {
@@ -455,6 +501,13 @@ func (p *producer) batch() *eventBatch {
 func (p *producer) HandleEvent(ev *sax.Event) error {
 	if p.abort.Load() {
 		return errAborted
+	}
+	if p.done != nil {
+		select {
+		case <-p.done:
+			return p.ctx.Err()
+		default:
+		}
 	}
 	p.events++
 	if ev.Kind == sax.StartElement {

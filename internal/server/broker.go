@@ -1,0 +1,302 @@
+// Package server is the serving subsystem of the reproduction: a
+// multi-tenant streaming subscription broker over the live query engine —
+// the publish/subscribe deployment the ViteX paper motivates (ICDE 2005 §1:
+// many standing XPath subscriptions, arriving XML streams, matches pushed
+// incrementally).
+//
+// A Broker manages named channels. Each channel owns a live
+// vitex.QuerySet: subscribing compiles exactly one query into the shared
+// dispatch set (churn is O(changed query), never a recompile of the
+// standing set), publishing appends the document to a bounded per-channel
+// ingest queue, and matches stream back to each subscriber through a
+// bounded ring with an explicit slow-consumer policy — block (back-
+// pressure) or drop (gap markers). Channels evaluate documents strictly in
+// arrival order; a worker-pool semaphore bounds how many channels evaluate
+// at once, layering cross-document parallelism across channels on top of
+// the engine's within-document sharding (Options.Parallel).
+//
+// Every evaluation runs under a context tied to the broker's lifetime and
+// — for synchronous publishes — the publisher's request, so a disconnected
+// publisher or a shutdown deadline aborts mid-document promptly, the
+// publisher gets a structured error, and subscribers get a gap marker
+// rather than a silent stall.
+//
+// The HTTP layer over this API lives in http.go; cmd/vitexd is the daemon.
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Config sizes a Broker. The zero value gets sensible defaults.
+type Config struct {
+	// Workers bounds how many channel evaluations run simultaneously
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is each channel's ingest-queue capacity (default 64).
+	// A full queue rejects publishes with ErrQueueFull.
+	QueueDepth int
+	// RingSize is each subscription's result-buffer capacity (default 256).
+	RingSize int
+	// Policy is the slow-consumer policy applied when a ring is full
+	// (default PolicyBlock).
+	Policy Policy
+	// Parallel is passed to vitex.Options.Parallel for every evaluation:
+	// 0/1 serial, N>1 shards machines over N goroutines, negative uses
+	// GOMAXPROCS.
+	Parallel int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	return cfg
+}
+
+// Broker is the multi-tenant subscription broker. All methods are safe for
+// concurrent use.
+type Broker struct {
+	cfg Config
+
+	mu       sync.Mutex
+	channels map[string]*channel
+	closed   bool
+
+	// evalCtx bounds every evaluation's lifetime; Shutdown cancels it when
+	// the drain deadline passes.
+	evalCtx    context.Context
+	evalCancel context.CancelFunc
+
+	// sem is the worker pool: one slot per concurrently-evaluating channel.
+	sem chan struct{}
+
+	// draining counts channels removed by DeleteChannel whose queues are
+	// still running dry; Shutdown waits for them like any other channel.
+	draining sync.WaitGroup
+}
+
+// New builds a broker; channels are created on first use.
+func New(cfg Config) *Broker {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Broker{
+		cfg:        cfg,
+		channels:   make(map[string]*channel),
+		evalCtx:    ctx,
+		evalCancel: cancel,
+		sem:        make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Config returns the broker's effective (defaulted) configuration.
+func (b *Broker) Config() Config { return b.cfg }
+
+// channelFor returns the named channel, creating it when create is set.
+func (b *Broker) channelFor(name string, create bool) (*channel, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty channel name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.channels[name]
+	if c == nil {
+		if !create {
+			return nil, ErrNoChannel
+		}
+		// Lookups of existing channels stay valid during shutdown (so
+		// attached consumers drain and unsubscribes settle); only new
+		// channels — i.e. new work — are refused.
+		if b.closed {
+			return nil, ErrShutdown
+		}
+		var err error
+		if c, err = newChannel(name, b); err != nil {
+			return nil, err
+		}
+		b.channels[name] = c
+	}
+	return c, nil
+}
+
+// jobContext derives one evaluation's context: the broker's lifetime, plus
+// — for synchronous publishes — the publisher's request, so either ends the
+// evaluation. The returned cancel must be called once the job is settled
+// (it is a no-op release for async jobs).
+func (b *Broker) jobContext(req context.Context, wait bool) (context.Context, context.CancelFunc) {
+	if !wait || req == nil {
+		return b.evalCtx, func() {}
+	}
+	ctx, cancel := context.WithCancel(b.evalCtx)
+	stop := context.AfterFunc(req, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// Subscribe registers query (XPath text) on the channel, creating the
+// channel on first use, and returns the subscription id.
+func (b *Broker) Subscribe(channelName, query string) (*SubscribeResponse, error) {
+	c, err := b.channelFor(channelName, true)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := c.subscribe(query)
+	if err != nil {
+		return nil, err
+	}
+	// Respond from the inputs: sub.query is mutable under the channel lock
+	// (Replace rewrites it) and must not be re-read here.
+	return &SubscribeResponse{Channel: channelName, ID: sub.id, Query: query}, nil
+}
+
+// Unsubscribe removes the subscription and ends its result stream.
+func (b *Broker) Unsubscribe(channelName, id string) error {
+	c, err := b.channelFor(channelName, false)
+	if err != nil {
+		return err
+	}
+	return c.unsubscribe(id)
+}
+
+// Replace swaps the subscription's query in place (same id, same result
+// stream); only the new query is compiled.
+func (b *Broker) Replace(channelName, id, query string) (*SubscribeResponse, error) {
+	c, err := b.channelFor(channelName, false)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := c.replace(id, query)
+	if err != nil {
+		return nil, err
+	}
+	return &SubscribeResponse{Channel: channelName, ID: sub.id, Query: query}, nil
+}
+
+// Publish ingests a document body into the channel (created on first use).
+// wait=true evaluates synchronously and reports the outcome; wait=false
+// returns once the document is queued.
+func (b *Broker) Publish(ctx context.Context, channelName string, data []byte, wait bool) (*PublishResponse, error) {
+	c, err := b.channelFor(channelName, true)
+	if err != nil {
+		return nil, err
+	}
+	return c.publish(ctx, data, wait)
+}
+
+// DeleteChannel removes a channel entirely: ingestion stops, queued
+// documents still evaluate (the drain is asynchronous), every subscription
+// stream ends, and the name becomes available for re-creation (doc numbers
+// restart). Channels otherwise live for the broker's lifetime — deletion is
+// the operator's lever against unbounded channel growth.
+func (b *Broker) DeleteChannel(name string) error {
+	b.mu.Lock()
+	c := b.channels[name]
+	if c == nil {
+		b.mu.Unlock()
+		return ErrNoChannel
+	}
+	delete(b.channels, name)
+	b.draining.Add(1)
+	b.mu.Unlock()
+	c.closeIngest()
+	go func() {
+		defer b.draining.Done()
+		c.wg.Wait() // queued documents finish before streams end
+		c.closeRings()
+	}()
+	return nil
+}
+
+// Subscription returns the channel's subscription by id (nil when absent).
+func (b *Broker) subscription(channelName, id string) (*subscription, error) {
+	c, err := b.channelFor(channelName, false)
+	if err != nil {
+		return nil, err
+	}
+	sub := c.subscriptionByID(id)
+	if sub == nil {
+		return nil, ErrNoSubscription
+	}
+	return sub, nil
+}
+
+// Metrics snapshots the broker: per-channel counters plus totals.
+func (b *Broker) Metrics() *MetricsResponse {
+	b.mu.Lock()
+	chans := make(map[string]*channel, len(b.channels))
+	for name, c := range b.channels {
+		chans[name] = c
+	}
+	b.mu.Unlock()
+	m := &MetricsResponse{Channels: make(map[string]ChannelMetrics, len(chans))}
+	for name, c := range chans {
+		cm := c.metrics()
+		m.Channels[name] = cm
+		m.Totals.DocsIn += cm.DocsIn
+		m.Totals.Results += cm.Results
+		m.Totals.Gaps += cm.Gaps
+	}
+	m.Totals.Channels = len(chans)
+	m.Config.Workers = b.cfg.Workers
+	m.Config.QueueDepth = b.cfg.QueueDepth
+	m.Config.RingSize = b.cfg.RingSize
+	m.Config.Policy = b.cfg.Policy.String()
+	m.Config.Parallel = b.cfg.Parallel
+	return m
+}
+
+// Shutdown drains the broker gracefully: admission stops (new subscribes
+// and publishes fail with ErrShutdown), every channel's queue runs dry —
+// delivering all proven results, with block-policy back-pressure honored —
+// and then every subscription stream ends. If ctx expires first, in-flight
+// evaluations are canceled: publishers see ctx errors, subscribers see gap
+// markers, and Shutdown returns ctx.Err() after the (now prompt) drain.
+// Shutdown is idempotent.
+func (b *Broker) Shutdown(ctx context.Context) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	chans := make([]*channel, 0, len(b.channels))
+	for _, c := range b.channels {
+		chans = append(chans, c)
+	}
+	b.mu.Unlock()
+
+	for _, c := range chans {
+		c.closeIngest()
+	}
+	drained := make(chan struct{})
+	go func() {
+		for _, c := range chans {
+			c.wg.Wait()
+		}
+		// Channels removed by DeleteChannel drain on their own goroutines;
+		// their queued documents get the same graceful treatment.
+		b.draining.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		b.evalCancel()
+		<-drained
+	}
+	b.evalCancel()
+	for _, c := range chans {
+		c.closeRings()
+	}
+	return err
+}

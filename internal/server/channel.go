@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	vitex "repro"
+)
+
+// Sentinel errors of the broker API; the HTTP layer maps them to statuses.
+var (
+	// ErrShutdown rejects work submitted after Shutdown began.
+	ErrShutdown = errors.New("server: broker shutting down")
+	// ErrQueueFull rejects a publish when the channel's bounded ingest
+	// queue has no room — the publisher's back-pressure signal (retry, or
+	// publish synchronously so completed documents free slots).
+	ErrQueueFull = errors.New("server: channel ingest queue full")
+	// ErrNoSubscription reports an unknown subscription id.
+	ErrNoSubscription = errors.New("server: no such subscription")
+	// ErrNoChannel reports an unknown channel name.
+	ErrNoChannel = errors.New("server: no such channel")
+)
+
+// channel is one named feed: a live QuerySet holding the standing
+// subscriptions, a bounded ingest queue of arriving documents, and the
+// per-subscription result rings. Documents are evaluated strictly in
+// arrival order by the channel's drainer (one evaluation in flight per
+// channel — so each subscription's result stream is ordered by document),
+// while the broker's worker-pool semaphore bounds how many channels
+// evaluate at once (cross-document parallelism across channels, on top of
+// Options.Parallel's within-document sharding).
+type channel struct {
+	name string
+	b    *Broker
+
+	// mu guards the membership pair (QuerySet contents <-> subs indexing)
+	// and ingest admission. Mutations and the per-document view capture
+	// take it; evaluation itself runs outside it.
+	mu      sync.Mutex
+	qs      *vitex.QuerySet
+	subs    []*subscription // parallel to QuerySet query indexes
+	byID    map[string]*subscription
+	nextSub int64
+	nextDoc int64
+	closed  bool
+	queue   chan *job
+
+	wg sync.WaitGroup // drainLoop
+
+	docsIn     atomic.Int64
+	docsFailed atomic.Int64
+	bytesIn    atomic.Int64
+	delivered  atomic.Int64
+	gaps       atomic.Int64
+}
+
+// subscription is one standing query of a channel plus its delivery ring.
+type subscription struct {
+	id    string
+	query string // guarded by ch.mu (Replace rewrites it)
+	ch    *channel
+	ring  *subRing
+	// attached enforces the single-consumer contract of the ring.
+	attached atomic.Bool
+}
+
+// job is one queued document: its payload, its arrival number, and the
+// context its evaluation runs under (broker lifetime, plus — for
+// synchronous publishes — the publisher's request).
+type job struct {
+	seq  int64
+	data []byte
+	ctx  context.Context
+	done chan jobResult // nil for async publishes
+}
+
+type jobResult struct {
+	results int64
+	events  int64
+	err     error
+}
+
+func newChannel(name string, b *Broker) (*channel, error) {
+	qs, err := vitex.NewQuerySet()
+	if err != nil {
+		return nil, err
+	}
+	c := &channel{
+		name:  name,
+		b:     b,
+		qs:    qs,
+		byID:  make(map[string]*subscription),
+		queue: make(chan *job, b.cfg.QueueDepth),
+	}
+	c.wg.Add(1)
+	go c.drainLoop()
+	return c, nil
+}
+
+// subscribe compiles query and adds it to the live set. Compilation happens
+// outside the lock; only the QuerySet.Add (which compiles nothing twice —
+// the engine interns the already-built machines' symbols incrementally) and
+// the bookkeeping pair run under it, so churn never blocks on other
+// subscribers' compiles.
+func (c *channel) subscribe(query string) (*subscription, error) {
+	q, err := vitex.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrShutdown
+	}
+	if _, err := c.qs.Add(q); err != nil {
+		return nil, err
+	}
+	c.nextSub++
+	sub := &subscription{
+		id:    fmt.Sprintf("s%d", c.nextSub),
+		query: query,
+		ch:    c,
+		ring:  newSubRing(c.b.cfg.RingSize, c.b.cfg.Policy, &c.gaps),
+	}
+	c.subs = append(c.subs, sub)
+	c.byID[sub.id] = sub
+	return sub, nil
+}
+
+// indexOfLocked returns sub's current query index (c.mu held).
+func (c *channel) indexOfLocked(sub *subscription) int {
+	for i, s := range c.subs {
+		if s == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// unsubscribe removes the subscription and closes its ring; an attached
+// consumer drains what is buffered and sees end-of-stream. A document
+// already evaluating still delivers the removed query's results (it runs
+// against the view captured at its start).
+func (c *channel) unsubscribe(id string) error {
+	c.mu.Lock()
+	sub := c.byID[id]
+	if sub == nil {
+		c.mu.Unlock()
+		return ErrNoSubscription
+	}
+	idx := c.indexOfLocked(sub)
+	if err := c.qs.Remove(idx); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.subs = append(c.subs[:idx], c.subs[idx+1:]...)
+	delete(c.byID, id)
+	c.mu.Unlock()
+	sub.ring.closeRing()
+	return nil
+}
+
+// replace swaps the subscription's query, keeping its id, ring and any
+// attached consumer. Only the new query is compiled.
+func (c *channel) replace(id, query string) (*subscription, error) {
+	q, err := vitex.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := c.byID[id]
+	if sub == nil {
+		return nil, ErrNoSubscription
+	}
+	if err := c.qs.Replace(c.indexOfLocked(sub), q); err != nil {
+		return nil, err
+	}
+	sub.query = query
+	return sub, nil
+}
+
+func (c *channel) subscriptionByID(id string) *subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byID[id]
+}
+
+// publish admits a document into the bounded ingest queue, assigning its
+// arrival number. wait=true blocks until the evaluation completes (or the
+// caller's ctx dies — which also cancels the evaluation itself, the
+// publisher-disconnect path) and reports its outcome; wait=false returns as
+// soon as the document is queued.
+func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*PublishResponse, error) {
+	jctx, cancel := c.b.jobContext(ctx, wait)
+	j := &job{data: data, ctx: jctx}
+	if wait {
+		j.done = make(chan jobResult, 1)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cancel()
+		return nil, ErrShutdown
+	}
+	c.nextDoc++
+	j.seq = c.nextDoc
+	select {
+	case c.queue <- j:
+	default:
+		c.nextDoc--
+		c.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	c.mu.Unlock()
+	c.docsIn.Add(1)
+	c.bytesIn.Add(int64(len(data)))
+	if !wait {
+		// Async jobs run under the broker's lifetime context alone; cancel
+		// here would kill them. jobContext returned a no-op cancel.
+		cancel()
+		return &PublishResponse{Channel: c.name, DocSeq: j.seq, Queued: true}, nil
+	}
+	defer cancel()
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			return &PublishResponse{Channel: c.name, DocSeq: j.seq}, &publishError{seq: j.seq, err: res.err}
+		}
+		return &PublishResponse{Channel: c.name, DocSeq: j.seq, Results: res.results, Events: res.events}, nil
+	case <-ctx.Done():
+		// cancel() (deferred) aborts the in-flight evaluation; the drainer
+		// finishes the cleanup (gap markers) without us.
+		return nil, ctx.Err()
+	}
+}
+
+// publishError tags an evaluation failure with the document number it
+// consumed, so the publisher's structured error and the subscribers' gap
+// markers name the same document.
+type publishError struct {
+	seq int64
+	err error
+}
+
+func (e *publishError) Error() string { return e.err.Error() }
+func (e *publishError) Unwrap() error { return e.err }
+
+// closeIngest stops admission and lets the drainer run the queue dry.
+func (c *channel) closeIngest() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.queue)
+}
+
+// closeRings ends every subscription's result stream (drain-then-end for
+// attached consumers).
+func (c *channel) closeRings() {
+	c.mu.Lock()
+	subs := append([]*subscription(nil), c.subs...)
+	c.mu.Unlock()
+	for _, sub := range subs {
+		sub.ring.closeRing()
+	}
+}
+
+// drainLoop evaluates queued documents strictly in arrival order. The
+// broker's semaphore bounds how many channels evaluate simultaneously.
+func (c *channel) drainLoop() {
+	defer c.wg.Done()
+	for j := range c.queue {
+		c.b.sem <- struct{}{}
+		res := c.evaluate(j)
+		<-c.b.sem
+		if j.done != nil {
+			j.done <- res
+		}
+	}
+}
+
+// evaluate runs one document against the membership in force at its start.
+// The view and the subscription slice are captured under one lock, so a
+// result's QueryIndex always resolves to the subscription whose machine
+// produced it, however the set churns concurrently.
+func (c *channel) evaluate(j *job) jobResult {
+	c.mu.Lock()
+	view := c.qs.View()
+	subs := append([]*subscription(nil), c.subs...)
+	c.mu.Unlock()
+
+	opts := vitex.Options{Parallel: c.b.cfg.Parallel, Context: j.ctx}
+	var results int64
+	stats, err := view.Stream(bytes.NewReader(j.data), opts, func(sr vitex.SetResult) error {
+		sub := subs[sr.QueryIndex]
+		delivered, perr := sub.ring.push(j.ctx, Delivery{
+			Type:        DeliveryResult,
+			DocSeq:      j.seq,
+			Seq:         sr.Seq,
+			NodeOffset:  sr.NodeOffset,
+			Value:       sr.Value,
+			ConfirmedAt: sr.ConfirmedAt,
+			DeliveredAt: sr.DeliveredAt,
+		})
+		if errors.Is(perr, errSubClosed) {
+			// Unsubscribed mid-document: skip it, keep serving the others.
+			return nil
+		}
+		if delivered {
+			results++
+			c.delivered.Add(1)
+		}
+		return perr
+	})
+	var events int64
+	if len(stats) > 0 {
+		events = stats[0].Events
+	}
+	if err != nil {
+		// The publisher gets a structured error; every subscriber of the
+		// evaluated view gets a gap marker in stream position — an aborted
+		// document must never read as a silent stall (or, worse, as a
+		// clean document with fewer matches).
+		c.docsFailed.Add(1)
+		reason := "document aborted: " + err.Error()
+		for _, sub := range subs {
+			sub.ring.pushGap(j.ctx, Delivery{Type: DeliveryGap, DocSeq: j.seq, Reason: reason})
+		}
+		return jobResult{results: results, events: events, err: err}
+	}
+	return jobResult{results: results, events: events}
+}
+
+// metrics snapshots the channel's counters.
+func (c *channel) metrics() ChannelMetrics {
+	c.mu.Lock()
+	nsubs := len(c.subs)
+	queued := len(c.queue)
+	c.mu.Unlock()
+	return ChannelMetrics{
+		Subscriptions: nsubs,
+		DocsIn:        c.docsIn.Load(),
+		DocsFailed:    c.docsFailed.Load(),
+		BytesIn:       c.bytesIn.Load(),
+		Results:       c.delivered.Load(),
+		Gaps:          c.gaps.Load(),
+		Queued:        queued,
+		Engine:        c.qs.Metrics(),
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmlscan"
+	"repro/internal/xpath"
+)
+
+// maxBodyBytes bounds subscription queries and published documents; a
+// streaming system ingests many documents, not one enormous one.
+const maxBodyBytes = 64 << 20
+
+// Handler wires the broker's HTTP API (see wire.go for the route table and
+// body types).
+func Handler(b *Broker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /channels/{ch}/subscriptions", b.handleSubscribe)
+	mux.HandleFunc("PUT /channels/{ch}/subscriptions/{id}", b.handleReplace)
+	mux.HandleFunc("DELETE /channels/{ch}/subscriptions/{id}", b.handleUnsubscribe)
+	mux.HandleFunc("GET /channels/{ch}/subscriptions/{id}/results", b.handleResults)
+	mux.HandleFunc("POST /channels/{ch}/documents", b.handlePublish)
+	mux.HandleFunc("DELETE /channels/{ch}", b.handleDeleteChannel)
+	mux.HandleFunc("GET /metrics", b.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// writeJSON emits one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps broker and compile errors to HTTP statuses and a
+// structured ErrorResponse: byte positions for bad XPath, byte offsets for
+// malformed XML, the consumed document number for failed publishes.
+func writeError(w http.ResponseWriter, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	status := http.StatusInternalServerError
+	var pe *publishError
+	if errors.As(err, &pe) {
+		resp.DocSeq = pe.seq
+	}
+	var parseErr *xpath.ParseError
+	var synErr *xmlscan.SyntaxError
+	switch {
+	case errors.As(err, &parseErr):
+		status = http.StatusBadRequest
+		resp.Position = parseErr.Pos
+	case errors.As(err, &synErr):
+		status = http.StatusBadRequest
+		resp.Offset = synErr.Offset
+	case errors.Is(err, ErrNoSubscription), errors.Is(err, ErrNoChannel):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrShutdown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	case pe != nil:
+		// An aborted evaluation with an unrecognized cause (an emit-path
+		// failure): the document was still rejected.
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
+}
+
+// readBody slurps a size-capped request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "reading request body: " + err.Error()})
+		return nil, false
+	}
+	return data, true
+}
+
+func (b *Broker) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	query := strings.TrimSpace(string(body))
+	if query == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty subscription query"})
+		return
+	}
+	resp, err := b.Subscribe(r.PathValue("ch"), query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (b *Broker) handleReplace(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	query := strings.TrimSpace(string(body))
+	if query == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty subscription query"})
+		return
+	}
+	resp, err := b.Replace(r.PathValue("ch"), r.PathValue("id"), query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (b *Broker) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	if err := b.Unsubscribe(r.PathValue("ch"), r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (b *Broker) handlePublish(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	wait := !boolParam(r.URL.Query().Get("async"), r.URL.Query().Has("async"))
+	resp, err := b.Publish(r.Context(), r.PathValue("ch"), data, wait)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if resp.Queued {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleResults streams the subscription's deliveries as NDJSON until the
+// subscription ends (unsubscribe or shutdown — the stream finishes with an
+// "end" line) or the client disconnects. Deliveries that are ready together
+// are flushed together.
+func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
+	sub, err := b.subscription(r.PathValue("ch"), r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !sub.attached.CompareAndSwap(false, true) {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: "subscription already has an attached consumer"})
+		return
+	}
+	defer sub.attached.Store(false)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	_ = rc.Flush() // commit headers so clients see the stream open
+
+	ctx := r.Context()
+	for {
+		d, ok, err := sub.ring.next(ctx)
+		if err != nil {
+			return // client gone; the ring stays live for a reconnect
+		}
+		if !ok {
+			_ = enc.Encode(Delivery{Type: DeliveryEnd})
+			_ = rc.Flush()
+			return
+		}
+		if encErr := enc.Encode(d); encErr != nil {
+			return
+		}
+		for {
+			more, okMore := sub.ring.tryNext()
+			if !okMore {
+				break
+			}
+			if encErr := enc.Encode(more); encErr != nil {
+				return
+			}
+		}
+		if flushErr := rc.Flush(); flushErr != nil {
+			return
+		}
+	}
+}
+
+func (b *Broker) handleDeleteChannel(w http.ResponseWriter, r *http.Request) {
+	if err := b.DeleteChannel(r.PathValue("ch")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, b.Metrics())
+}
+
+// boolParam interprets a query-string flag: absent -> false, bare or
+// unparsable -> true (presence is the signal), otherwise its boolean value
+// — so ?async=0 and ?async=false select the synchronous path.
+func boolParam(value string, present bool) bool {
+	if !present {
+		return false
+	}
+	if value == "" {
+		return true
+	}
+	v, err := strconv.ParseBool(value)
+	if err != nil {
+		return true
+	}
+	return v
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Policy selects what a channel's evaluation worker does when a
+// subscription's result ring is full — the slow-consumer policy.
+type Policy int
+
+const (
+	// PolicyBlock applies back-pressure: the evaluation (and therefore the
+	// whole channel's ingest queue) waits until the consumer frees ring
+	// space. Nothing is ever lost, at the price of one slow subscriber
+	// throttling the channel. Cancellation of the document's context (a
+	// disconnected publisher, broker shutdown past its drain deadline)
+	// unblocks the wait.
+	PolicyBlock Policy = iota
+	// PolicyDrop sheds load: the incoming delivery is discarded and the
+	// consumer receives a gap marker — counting the coalesced losses — in
+	// its place as soon as the ring has space again. The channel never
+	// stalls on a slow subscriber.
+	PolicyDrop
+)
+
+// ParsePolicy maps the wire/flag spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "block":
+		return PolicyBlock, nil
+	case "drop":
+		return PolicyDrop, nil
+	}
+	return 0, fmt.Errorf("server: unknown slow-consumer policy %q (want block or drop)", s)
+}
+
+func (p Policy) String() string {
+	if p == PolicyDrop {
+		return "drop"
+	}
+	return "block"
+}
+
+// errSubClosed reports a push to a subscription whose ring was closed by
+// Unsubscribe or broker shutdown. It never aborts a document evaluation —
+// the worker skips the dead subscription and keeps serving the others.
+var errSubClosed = errors.New("server: subscription closed")
+
+// subRing is the bounded delivery buffer between a channel's evaluation
+// worker and one subscription's (possibly absent, possibly slow) consumer.
+// The buffer is a Go channel so full-ring waits compose with context
+// cancellation and subscription close in one select.
+//
+// Concurrency contract: exactly one goroutine pushes at a time (a channel
+// evaluates one document at a time, in arrival order), at most one consumer
+// reads (the HTTP layer enforces single attachment), and close may come
+// from anywhere. The mutex-free fields are owned by the pusher; the drop
+// accounting is atomic because the consumer's end-of-stream drain reads it.
+type subRing struct {
+	ch       chan Delivery
+	closedCh chan struct{}
+	policy   Policy
+
+	closed atomic.Bool
+	// dropped/dropSeq accumulate a pending slow-consumer gap: results
+	// discarded since the last delivered marker, and the document of the
+	// most recent loss. Written by the pusher; drained by the consumer only
+	// after close.
+	dropped atomic.Int64
+	dropSeq atomic.Int64
+	// gaps counts gap markers actually delivered (channel-level metric).
+	gaps *atomic.Int64
+}
+
+func newSubRing(size int, policy Policy, gaps *atomic.Int64) *subRing {
+	if size < 1 {
+		size = 1
+	}
+	return &subRing{
+		ch:       make(chan Delivery, size),
+		closedCh: make(chan struct{}),
+		policy:   policy,
+		gaps:     gaps,
+	}
+}
+
+// pendingGap renders the accumulated slow-consumer losses as a marker.
+func (r *subRing) pendingGap() Delivery {
+	return Delivery{
+		Type:    DeliveryGap,
+		DocSeq:  r.dropSeq.Load(),
+		Dropped: r.dropped.Load(),
+		Reason:  GapSlowConsumer,
+	}
+}
+
+// place is the one point deliveries enter the buffer (non-blocking); it
+// keeps the gap metric honest.
+func (r *subRing) place(d Delivery) bool {
+	select {
+	case r.ch <- d:
+		if d.Type == DeliveryGap && r.gaps != nil {
+			r.gaps.Add(1)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// push delivers d, honoring the slow-consumer policy. delivered reports
+// whether d itself was buffered — false when PolicyDrop folded it into a
+// pending gap marker. err is errSubClosed when the subscription is gone, or
+// ctx.Err() when a blocked push was canceled. A pending gap marker is
+// always flushed into the buffer before anything newer, so consumers
+// observe losses in stream position.
+func (r *subRing) push(ctx context.Context, d Delivery) (delivered bool, err error) {
+	for r.dropped.Load() > 0 {
+		if r.closed.Load() {
+			return false, errSubClosed
+		}
+		if r.place(r.pendingGap()) {
+			r.dropped.Store(0)
+			break
+		}
+		if r.policy == PolicyDrop {
+			r.drop(d)
+			return false, nil
+		}
+		if err := r.send(ctx, r.pendingGap()); err != nil {
+			return false, err
+		}
+		r.dropped.Store(0)
+	}
+	if r.closed.Load() {
+		return false, errSubClosed
+	}
+	if r.place(d) {
+		return true, nil
+	}
+	if r.policy == PolicyDrop {
+		r.drop(d)
+		return false, nil
+	}
+	if err := r.send(ctx, d); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// pushGap best-effort delivers an aborted-document gap marker. It blocks
+// like a normal delivery while the document's context is alive; when the
+// context is already dead (cancellation was the abort cause) the marker is
+// folded into the pending-gap accounting instead, so the loss stays visible
+// on the stream even if its specific reason is coalesced away.
+func (r *subRing) pushGap(ctx context.Context, d Delivery) {
+	if _, err := r.push(ctx, d); err != nil && !errors.Is(err, errSubClosed) {
+		r.drop(d)
+	}
+}
+
+// drop folds d into the pending gap.
+func (r *subRing) drop(d Delivery) {
+	r.dropped.Add(1)
+	if d.DocSeq > 0 {
+		r.dropSeq.Store(d.DocSeq)
+	}
+}
+
+// send is the blocking (PolicyBlock) delivery: it waits for ring space, and
+// composes the wait with subscription close and context cancellation. The
+// race between a winning send and a concurrent close is benign — the ring's
+// channel is never closed, and consumers drain buffered deliveries after
+// observing close.
+func (r *subRing) send(ctx context.Context, d Delivery) error {
+	select {
+	case r.ch <- d:
+		if d.Type == DeliveryGap && r.gaps != nil {
+			r.gaps.Add(1)
+		}
+		return nil
+	case <-r.closedCh:
+		return errSubClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeRing marks the subscription dead and wakes blocked pushers and the
+// consumer. Buffered deliveries remain readable; the consumer drains them,
+// then any pending gap, then sees end-of-stream.
+func (r *subRing) closeRing() {
+	if r.closed.CompareAndSwap(false, true) {
+		close(r.closedCh)
+	}
+}
+
+// next blocks for the subscription's next delivery. ok=false means the
+// subscription closed and everything buffered (including a final pending
+// gap marker) has been delivered. err is non-nil only for ctx cancellation
+// (the consumer going away, not the subscription).
+func (r *subRing) next(ctx context.Context) (d Delivery, ok bool, err error) {
+	// Buffered deliveries win over close: a closed ring drains fully.
+	select {
+	case d = <-r.ch:
+		return d, true, nil
+	default:
+	}
+	select {
+	case d = <-r.ch:
+		return d, true, nil
+	case <-r.closedCh:
+		select {
+		case d = <-r.ch:
+			return d, true, nil
+		default:
+		}
+		if r.dropped.Load() > 0 {
+			d = r.pendingGap()
+			r.dropped.Store(0)
+			if r.gaps != nil {
+				r.gaps.Add(1)
+			}
+			return d, true, nil
+		}
+		return Delivery{}, false, nil
+	case <-ctx.Done():
+		return Delivery{}, false, ctx.Err()
+	}
+}
+
+// tryNext returns an immediately-available delivery, if any. The HTTP layer
+// uses it to batch NDJSON flushes: drain what is ready, then flush once.
+func (r *subRing) tryNext() (Delivery, bool) {
+	select {
+	case d := <-r.ch:
+		return d, true
+	default:
+		return Delivery{}, false
+	}
+}

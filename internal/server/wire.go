@@ -1,0 +1,133 @@
+// Wire types of the vitexd protocol: the JSON bodies exchanged over the
+// broker's HTTP API. The `client` package decodes exactly these structs, so
+// the daemon, the Go client, the load generator and the equivalence tests
+// can never drift on field names.
+//
+// The protocol is deliberately plain HTTP + NDJSON — no custom framing —
+// so any language with an HTTP client can publish documents and consume
+// subscription streams:
+//
+//	POST   /channels/{ch}/subscriptions          body: XPath text   -> SubscribeResponse
+//	PUT    /channels/{ch}/subscriptions/{id}     body: XPath text   -> SubscribeResponse
+//	DELETE /channels/{ch}/subscriptions/{id}                        -> 204
+//	POST   /channels/{ch}/documents              body: XML document -> PublishResponse
+//	GET    /channels/{ch}/subscriptions/{id}/results                -> NDJSON Delivery stream
+//	DELETE /channels/{ch}                                           -> 204 (drain + remove)
+//	GET    /metrics                                                 -> MetricsResponse
+//	GET    /healthz                                                 -> 200 "ok"
+package server
+
+import "repro/internal/engine"
+
+// Delivery kinds; see Delivery.Type.
+const (
+	// DeliveryResult is one query solution for the subscription.
+	DeliveryResult = "result"
+	// DeliveryGap marks a hole in the result stream: either results were
+	// dropped because the consumer fell behind a drop-policy ring (Dropped
+	// counts them), or a document's evaluation aborted mid-stream (Reason
+	// explains; results of that document may be partial). A subscriber
+	// never loses deliveries silently — it loses them across a gap marker.
+	DeliveryGap = "gap"
+	// DeliveryEnd is the final line of a result stream: the subscription
+	// was removed or the broker shut down, and everything buffered has been
+	// delivered.
+	DeliveryEnd = "end"
+)
+
+// Gap reasons.
+const (
+	GapSlowConsumer = "slow consumer"
+)
+
+// Delivery is one NDJSON line of a subscription result stream.
+type Delivery struct {
+	Type string `json:"type"`
+	// DocSeq is the 1-based arrival number of the document (per channel)
+	// this delivery belongs to. For a slow-consumer gap it is the document
+	// of the last dropped result.
+	DocSeq int64 `json:"doc_seq,omitempty"`
+	// Seq, NodeOffset, Value, ConfirmedAt and DeliveredAt mirror the
+	// library's Result fields for Type "result".
+	Seq         int64  `json:"seq"`
+	NodeOffset  int64  `json:"node_offset"`
+	Value       string `json:"value,omitempty"`
+	ConfirmedAt int64  `json:"confirmed_at,omitempty"`
+	DeliveredAt int64  `json:"delivered_at,omitempty"`
+	// Dropped counts the results coalesced into a gap marker (0 when the
+	// gap marks an aborted document rather than a slow consumer).
+	Dropped int64 `json:"dropped,omitempty"`
+	// Reason explains a gap.
+	Reason string `json:"reason,omitempty"`
+}
+
+// SubscribeResponse answers subscription creation and replacement.
+type SubscribeResponse struct {
+	Channel string `json:"channel"`
+	ID      string `json:"id"`
+	Query   string `json:"query"`
+}
+
+// PublishResponse answers document ingestion.
+type PublishResponse struct {
+	Channel string `json:"channel"`
+	DocSeq  int64  `json:"doc_seq"`
+	// Queued is true for async publishes: the document was accepted but not
+	// yet evaluated, so Results and Events are absent.
+	Queued bool `json:"queued,omitempty"`
+	// Results counts deliveries actually placed into subscriber rings;
+	// Events is the shared scan's event count.
+	Results int64 `json:"results"`
+	Events  int64 `json:"events"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Offset is the byte offset of a malformed-XML failure in the published
+	// document, when known.
+	Offset int64 `json:"offset,omitempty"`
+	// Position is the byte position of an XPath compile failure in the
+	// subscription query, when known.
+	Position int `json:"position,omitempty"`
+	// DocSeq identifies the document of a failed publish (it consumed an
+	// arrival number even though it aborted; subscribers see a gap marker
+	// carrying the same number).
+	DocSeq int64 `json:"doc_seq,omitempty"`
+}
+
+// ChannelMetrics is one channel's slice of the /metrics answer.
+type ChannelMetrics struct {
+	Subscriptions int   `json:"subscriptions"`
+	DocsIn        int64 `json:"docs_in"`
+	DocsFailed    int64 `json:"docs_failed"`
+	BytesIn       int64 `json:"bytes_in"`
+	// Results counts deliveries placed into subscriber rings; Gaps counts
+	// gap markers delivered.
+	Results int64 `json:"results"`
+	Gaps    int64 `json:"gaps"`
+	// Queued is the current depth of the channel's ingest queue.
+	Queued int `json:"queued"`
+	// Engine is the channel's live-QuerySet churn accounting (compiles,
+	// epochs, compactions, slot occupancy).
+	Engine engine.Metrics `json:"engine"`
+}
+
+// MetricsResponse is the /metrics answer: per-channel counters plus broker
+// totals and configuration.
+type MetricsResponse struct {
+	Channels map[string]ChannelMetrics `json:"channels"`
+	Totals   struct {
+		Channels int   `json:"channels"`
+		DocsIn   int64 `json:"docs_in"`
+		Results  int64 `json:"results"`
+		Gaps     int64 `json:"gaps"`
+	} `json:"totals"`
+	Config struct {
+		Workers    int    `json:"workers"`
+		QueueDepth int    `json:"queue_depth"`
+		RingSize   int    `json:"ring_size"`
+		Policy     string `json:"policy"`
+		Parallel   int    `json:"parallel"`
+	} `json:"config"`
+}

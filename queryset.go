@@ -209,13 +209,30 @@ func (qs *QuerySet) rebuildViewLocked() {
 	qs.machQuery = machQuery
 }
 
-// view captures a consistent (snapshot, machine->query map, query count)
-// triple for one evaluation.
-func (qs *QuerySet) view() (engine.Snapshot, []int, int) {
+// QuerySetView pins one membership snapshot of a live QuerySet: every Stream
+// call on the view evaluates exactly the queries (and query indexing) that
+// were in force when View was called, however the set churns afterwards. A
+// serving layer that keeps per-subscription state alongside the set captures
+// a view and its own bookkeeping under one lock, so a subscription added or
+// removed concurrently with an in-flight document can never shift the
+// QueryIndex a result is tagged with. Views are cheap (one atomic load plus
+// two word copies) and safe for concurrent use.
+type QuerySetView struct {
+	snap      engine.Snapshot
+	machQuery []int
+	nq        int
+}
+
+// View captures the set's current membership as an immutable view. Views
+// are values; capturing one allocates nothing.
+func (qs *QuerySet) View() QuerySetView {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
-	return qs.eng.Snapshot(), qs.machQuery, len(qs.entries)
+	return QuerySetView{snap: qs.eng.Snapshot(), machQuery: qs.machQuery, nq: len(qs.entries)}
 }
+
+// Len returns the number of queries in the view.
+func (v QuerySetView) Len() int { return v.nq }
 
 // Len returns the number of queries in the set.
 func (qs *QuerySet) Len() int {
@@ -245,7 +262,13 @@ type SetResult struct {
 // per-query statistics; scan-level counters (Events, Elements, MaxDepth)
 // describe the one shared scan and are identical across queries.
 func (qs *QuerySet) Stream(r io.Reader, opts Options, emit func(SetResult) error) ([]Stats, error) {
-	snap, machQuery, nq := qs.view()
+	return qs.View().Stream(r, opts, emit)
+}
+
+// Stream evaluates the view's pinned membership over one scan of r; see
+// QuerySet.Stream for the emission and statistics contract.
+func (v QuerySetView) Stream(r io.Reader, opts Options, emit func(SetResult) error) ([]Stats, error) {
+	snap, machQuery, nq := v.snap, v.machQuery, v.nq
 	// Union branches within one query share a dedup set; ordered union
 	// results are buffered and flushed in document order at end of scan
 	// with their Seq renumbered densely per query (branch-local Seqs are

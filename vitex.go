@@ -57,6 +57,7 @@
 package vitex
 
 import (
+	"context"
 	"io"
 	"sort"
 	"strings"
@@ -116,6 +117,15 @@ type Options struct {
 	// lifecycle and emissions. The demonstration view of the system;
 	// substantially slower, leave nil in production.
 	Trace io.Writer
+	// Context, when non-nil, cancels the evaluation: the engine checks it at
+	// every scan event (and, in parallel mode, before every emission), so a
+	// cancellation — whether from a deadline, a disconnecting network
+	// client, or inside the Emit callback itself — aborts the stream
+	// promptly mid-document and the evaluation returns ctx.Err(). Nil means
+	// no cancellation (context.Background) and costs nothing on the hot
+	// path. This is the lever a serving layer uses to tie evaluations to
+	// request and shutdown lifecycles.
+	Context context.Context
 }
 
 // Query is a compiled query: one immutable TwigM program per union branch
@@ -219,12 +229,16 @@ func (q *Query) Stream(r io.Reader, opts Options, emit func(Result) error) (Stat
 }
 
 // streamEngine dispatches to the serial or parallel engine entry point per
-// Options.Parallel.
+// Options.Parallel, plumbing Options.Context into the engine loop.
 func streamEngine(snap engine.Snapshot, r io.Reader, opts Options, topts []twigm.Options) ([]twigm.Stats, error) {
-	if opts.Parallel != 0 && opts.Parallel != 1 {
-		return snap.StreamParallel(r, opts.UseStdParser, topts, opts.Parallel)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return snap.Stream(r, opts.UseStdParser, topts)
+	if opts.Parallel != 0 && opts.Parallel != 1 {
+		return snap.StreamParallelContext(ctx, r, opts.UseStdParser, topts, opts.Parallel)
+	}
+	return snap.StreamContext(ctx, r, opts.UseStdParser, topts)
 }
 
 // streamUnion evaluates one machine per branch over the shared scan
