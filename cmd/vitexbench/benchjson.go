@@ -12,11 +12,13 @@ import (
 
 	vitex "repro"
 	"repro/internal/datagen"
+	"repro/internal/engine"
 )
 
 // BenchRecord is one machine-readable benchmark result. The files seed the
 // repository's performance trajectory: later engine work reruns the same
-// workloads and compares against the committed numbers.
+// workloads and compares against the committed numbers (the CI bench guard
+// automates that for queryset_100, see checkBaseline).
 type BenchRecord struct {
 	Name    string `json:"name"`
 	Queries int    `json:"queries"`
@@ -34,29 +36,48 @@ type BenchRecord struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	PeakStack    int     `json:"peak_stack_entries"`
 	Results      int64   `json:"results_per_op"`
+
+	// Prefix-overlap workloads: the generator's overlap fraction, whether
+	// prefix sharing was enabled, and the dispatch/trie-sharing statistics
+	// of the run — shared trie size, residual (anchored) machines, and the
+	// per-event wake/push rates routed dispatch is judged by.
+	Overlap            float64 `json:"overlap,omitempty"`
+	SharingDisabled    bool    `json:"sharing_disabled,omitempty"`
+	TrieNodes          int     `json:"trie_nodes,omitempty"`
+	AnchoredMachines   int     `json:"anchored_machines,omitempty"`
+	WokenPerEvent      float64 `json:"machines_woken_per_event"`
+	TriePushesPerEvent float64 `json:"trie_pushes_per_event"`
 }
 
-// benchWorkloads runs the engine benchmark suite — one single-query stream
-// plus routed QuerySet evaluations at 1, 10 and 100 standing queries over a
-// ticker feed (the paper's subscription scenario) — and writes one
-// BENCH_<name>.json per workload into dir.
-func benchWorkloads(dir string, trades int, out io.Writer) error {
+// benchWorkloads runs the engine benchmark suite — the original ticker
+// workloads (single query, routed QuerySet at 1/10/100 standing queries,
+// churn) plus the prefix-overlap workloads at 100/1000/10000 standing
+// queries over the Portal corpus — and writes one BENCH_<name>.json per
+// workload into dir. With smoke=true only queryset_100 and queryset_1000
+// run (the CI bench-smoke configuration).
+func benchWorkloads(dir string, trades int, overlap float64, smoke bool, out io.Writer) error {
 	doc := datagen.Ticker{Trades: trades, Seed: 1}.String()
 
 	single := vitex.MustCompile("//trade[symbol='ACME']/price")
 	sparse := datagen.SparseTickerQueries(10, 90)
 	churnQuery := vitex.MustCompile("//trade[symbol='ACME']/volume")
 
+	// The overlap corpus and subscription generator (see datagen.Portal):
+	// structural traffic concentrates on the shared prefixes, leaves
+	// diverge per query.
+	portalDoc := datagen.Portal{Articles: 400, Seed: 1}.String()
+
 	type workload struct {
 		name    string
 		queries int
 		workers int
+		overlap float64
+		noshare bool
+		doc     string
+		metrics func() engine.Metrics
 		run     func() (events int64, peak int, results int64, err error)
 	}
-	mkSet := func(sources []string) (*vitex.QuerySet, error) {
-		return vitex.NewQuerySet(sources...)
-	}
-	setRunnerOpts := func(qs *vitex.QuerySet, opts vitex.Options) func() (int64, int, int64, error) {
+	setRunnerOpts := func(qs *vitex.QuerySet, doc string, opts vitex.Options) func() (int64, int, int64, error) {
 		return func() (int64, int, int64, error) {
 			var results int64
 			stats, err := qs.Stream(strings.NewReader(doc), opts,
@@ -71,62 +92,113 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 			return stats[0].Events, peak, results, nil
 		}
 	}
-	setRunner := func(qs *vitex.QuerySet) func() (int64, int, int64, error) {
-		return setRunnerOpts(qs, vitex.Options{CountOnly: true})
+	setRunner := func(qs *vitex.QuerySet, doc string) func() (int64, int, int64, error) {
+		return setRunnerOpts(qs, doc, vitex.Options{CountOnly: true})
+	}
+	overlapWorkload := func(name string, n int, noshare bool) (workload, error) {
+		sources := datagen.OverlapQueries(n, overlap, 0, 0, 42)
+		qs, err := vitex.NewQuerySetConfigured(vitex.SetConfig{DisablePrefixSharing: noshare}, sources...)
+		if err != nil {
+			return workload{}, fmt.Errorf("%s: %w", name, err)
+		}
+		return workload{
+			name: name, queries: n, overlap: overlap, noshare: noshare,
+			doc: portalDoc, metrics: qs.Metrics, run: setRunner(qs, portalDoc),
+		}, nil
 	}
 
-	qs1, err := mkSet(sparse[:1])
+	var workloads []workload
+	qs100, err := vitex.NewQuerySet(sparse...)
 	if err != nil {
 		return err
 	}
-	qs10, err := mkSet(sparse[:10])
+	workloads = append(workloads, workload{
+		name: "queryset_100", queries: 100, doc: doc,
+		metrics: qs100.Metrics, run: setRunner(qs100, doc),
+	})
+	w1000, err := overlapWorkload("queryset_1000", 1000, false)
 	if err != nil {
 		return err
 	}
-	qs100, err := mkSet(sparse)
-	if err != nil {
-		return err
-	}
-	parWorkers := runtime.GOMAXPROCS(0)
-	workloads := []workload{
-		{"single_query", 1, 0, func() (int64, int, int64, error) {
-			var results int64
-			stats, err := single.Stream(strings.NewReader(doc), vitex.Options{CountOnly: true},
-				func(vitex.Result) error { results++; return nil })
-			return stats.Events, stats.PeakStackEntries, results, err
-		}},
-		{"queryset_1", 1, 0, setRunner(qs1)},
-		{"queryset_10", 10, 0, setRunner(qs10)},
-		{"queryset_100", 100, 0, setRunner(qs100)},
+	workloads = append(workloads, w1000)
+
+	if !smoke {
+		qs1, err := vitex.NewQuerySet(sparse[:1]...)
+		if err != nil {
+			return err
+		}
+		qs10, err := vitex.NewQuerySet(sparse[:10]...)
+		if err != nil {
+			return err
+		}
+		parWorkers := runtime.GOMAXPROCS(0)
+		pre := []workload{
+			{name: "single_query", queries: 1, doc: doc, run: func() (int64, int, int64, error) {
+				var results int64
+				stats, err := single.Stream(strings.NewReader(doc), vitex.Options{CountOnly: true},
+					func(vitex.Result) error { results++; return nil })
+				return stats.Events, stats.PeakStackEntries, results, err
+			}},
+			{name: "queryset_1", queries: 1, doc: doc, metrics: qs1.Metrics, run: setRunner(qs1, doc)},
+			{name: "queryset_10", queries: 10, doc: doc, metrics: qs10.Metrics, run: setRunner(qs10, doc)},
+		}
+		workloads = append(pre, workloads...)
 		// The sharded multi-core mode over the same 100-query standing
 		// set; compare events_per_sec against queryset_100 for the
 		// parallel speedup on this host (1.0x on a single-core host,
 		// where sharding falls back to the serial path).
-		{"queryset_100_parallel", 100, parWorkers,
-			setRunnerOpts(qs100, vitex.Options{CountOnly: true, Parallel: parWorkers})},
+		workloads = append(workloads, workload{
+			name: "queryset_100_parallel", queries: 100, workers: parWorkers, doc: doc,
+			metrics: qs100.Metrics,
+			run:     setRunnerOpts(qs100, doc, vitex.Options{CountOnly: true, Parallel: parWorkers}),
+		})
 		// Live subscription churn: each op adds one standing query to the
 		// 100-query set, serves a document with the grown set, and removes
 		// the query again. Compare ns_per_event against queryset_100: the
 		// gap is the whole cost of continuous churn on a serving set
-		// (incremental compile + epoch publication + session resync).
-		{"queryset_churn", 100, 0, func() (int64, int, int64, error) {
-			idx, err := qs100.Add(churnQuery)
+		// (incremental compile + trie graft/prune + epoch publication +
+		// session resync).
+		workloads = append(workloads, workload{
+			name: "queryset_churn", queries: 100, doc: doc, metrics: qs100.Metrics,
+			run: func() (int64, int, int64, error) {
+				idx, err := qs100.Add(churnQuery)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				events, peak, results, err := setRunner(qs100, doc)()
+				if rerr := qs100.Remove(idx); rerr != nil && err == nil {
+					err = rerr
+				}
+				return events, peak, results, err
+			},
+		})
+		// Prefix-overlap pair at 100 queries: identical subscriptions with
+		// sharing on and off — the ratio of their ns_per_event is the
+		// prefix-sharing speedup on overlapping workloads.
+		for _, spec := range []struct {
+			name    string
+			noshare bool
+		}{{"queryset_100_overlap", false}, {"queryset_100_overlap_noshare", true}} {
+			w, err := overlapWorkload(spec.name, 100, spec.noshare)
 			if err != nil {
-				return 0, 0, 0, err
+				return err
 			}
-			events, peak, results, err := setRunner(qs100)()
-			if rerr := qs100.Remove(idx); rerr != nil && err == nil {
-				err = rerr
-			}
-			return events, peak, results, err
-		}},
+			workloads = append(workloads, w)
+		}
+		w10000, err := overlapWorkload("queryset_10000", 10000, false)
+		if err != nil {
+			return err
+		}
+		workloads = append(workloads, w10000)
 	}
 
 	for _, w := range workloads {
-		rec, err := measure(w.name, w.queries, w.workers, len(doc), w.run)
+		rec, err := measure(w.name, w.queries, w.workers, len(w.doc), w.metrics, w.run)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.name, err)
 		}
+		rec.Overlap = w.overlap
+		rec.SharingDisabled = w.noshare
 		path := filepath.Join(dir, "BENCH_"+w.name+".json")
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
@@ -135,15 +207,17 @@ func benchWorkloads(dir string, trades int, out io.Writer) error {
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%-14s %8.1f ns/event %12.0f events/s %8.1f allocs/op  -> %s\n",
-			w.name, rec.NsPerEvent, rec.EventsPerSec, rec.AllocsPerOp, path)
+		fmt.Fprintf(out, "%-28s %8.1f ns/event %12.0f events/s %8.1f allocs/op %6.2f woken/event  -> %s\n",
+			w.name, rec.NsPerEvent, rec.EventsPerSec, rec.AllocsPerOp, rec.WokenPerEvent, path)
 	}
 	return nil
 }
 
 // measure times fn until at least minBenchTime has elapsed (after one
-// warm-up run), tracking allocations with runtime.MemStats.
-func measure(name string, queries, workers, corpusBytes int, fn func() (int64, int, int64, error)) (*BenchRecord, error) {
+// warm-up run), tracking allocations with runtime.MemStats and dispatch
+// statistics with the engine's cumulative metrics (when metricsOf is
+// non-nil).
+func measure(name string, queries, workers, corpusBytes int, metricsOf func() engine.Metrics, fn func() (int64, int, int64, error)) (*BenchRecord, error) {
 	const minBenchTime = 500 * time.Millisecond
 	events, peak, results, err := fn() // warm-up; also yields workload facts
 	if err != nil {
@@ -152,6 +226,10 @@ func measure(name string, queries, workers, corpusBytes int, fn func() (int64, i
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	var m0 engine.Metrics
+	if metricsOf != nil {
+		m0 = metricsOf()
+	}
 	start := time.Now()
 	iters := 0
 	for time.Since(start) < minBenchTime {
@@ -163,7 +241,7 @@ func measure(name string, queries, workers, corpusBytes int, fn func() (int64, i
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
-	return &BenchRecord{
+	rec := &BenchRecord{
 		Name:         name,
 		Queries:      queries,
 		Workers:      workers,
@@ -178,5 +256,51 @@ func measure(name string, queries, workers, corpusBytes int, fn func() (int64, i
 		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
 		PeakStack:    peak,
 		Results:      results,
-	}, nil
+	}
+	if metricsOf != nil {
+		m1 := metricsOf()
+		rec.TrieNodes = m1.TrieNodes
+		rec.AnchoredMachines = m1.AnchoredMachines
+		if de := m1.Events - m0.Events; de > 0 {
+			rec.WokenPerEvent = float64(m1.Deliveries-m0.Deliveries) / float64(de)
+			rec.TriePushesPerEvent = float64(m1.TriePushes-m0.TriePushes) / float64(de)
+		}
+	}
+	return rec, nil
+}
+
+// checkBaseline is the benchstat-style regression guard: it compares the
+// just-measured queryset_100 ns/event against the committed baseline record
+// in baselineDir and fails on a regression beyond the threshold. Run it on
+// the same class of hardware the baseline was recorded on.
+func checkBaseline(dir, baselineDir string, out io.Writer) error {
+	const workload = "queryset_100"
+	const threshold = 1.20
+	read := func(d string) (*BenchRecord, error) {
+		data, err := os.ReadFile(filepath.Join(d, "BENCH_"+workload+".json"))
+		if err != nil {
+			return nil, err
+		}
+		var rec BenchRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, err
+		}
+		return &rec, nil
+	}
+	base, err := read(baselineDir)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := read(dir)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	ratio := cur.NsPerEvent / base.NsPerEvent
+	fmt.Fprintf(out, "bench guard: %s %.1f ns/event vs baseline %.1f (%.2fx, threshold %.2fx)\n",
+		workload, cur.NsPerEvent, base.NsPerEvent, ratio, threshold)
+	if ratio > threshold {
+		return fmt.Errorf("bench guard: %s regressed %.2fx over the committed baseline (%.1f vs %.1f ns/event)",
+			workload, ratio, cur.NsPerEvent, base.NsPerEvent)
+	}
+	return nil
 }

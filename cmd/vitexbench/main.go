@@ -35,12 +35,14 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("vitexbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "comma-separated experiments (e1..e9, bench) or 'all'")
+	exp := fs.String("exp", "all", "comma-separated experiments (e1..e9, bench, bench-smoke) or 'all'")
 	mb := fs.Int("mb", 75, "protein corpus size in MiB (paper: 75)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	dir := fs.String("dir", "", "corpus cache directory (default: OS temp dir)")
 	benchDir := fs.String("benchdir", ".", "directory for BENCH_*.json files (-exp bench)")
 	trades := fs.Int("trades", 20000, "ticker feed size for -exp bench")
+	overlap := fs.Float64("overlap", 0.9, "fraction of queries sharing a prefix in the queryset_*_overlap/1000/10000 workloads")
+	baseline := fs.String("baseline", "", "directory with committed BENCH_*.json records; compare queryset_100 ns/event and fail on a >20% regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,12 +145,20 @@ func run(args []string, stdout io.Writer) error {
 		}
 		section(res.Table)
 	}
-	if want["bench"] {
-		if err := benchWorkloads(*benchDir, *trades, stdout); err != nil {
+	if want["bench"] || want["bench-smoke"] {
+		smoke := !want["bench"]
+		if err := benchWorkloads(*benchDir, *trades, *overlap, smoke, stdout); err != nil {
 			return fmt.Errorf("bench: %w", err)
 		}
-		if err := serverThroughput(*benchDir, *trades, stdout); err != nil {
-			return fmt.Errorf("bench: server_throughput: %w", err)
+		if !smoke {
+			if err := serverThroughput(*benchDir, *trades, stdout); err != nil {
+				return fmt.Errorf("bench: server_throughput: %w", err)
+			}
+		}
+		if *baseline != "" {
+			if err := checkBaseline(*benchDir, *baseline, stdout); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

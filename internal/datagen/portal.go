@@ -1,0 +1,139 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Portal generates the content-feed corpus of the prefix-sharing workloads:
+// a news portal whose channels carry articles, each with a typed metadata
+// head (field elements drawn from a large name universe) and a structural
+// body. The element traffic is dominated by the SHARED part of realistic
+// subscriptions — //channel//article/head — while the field leaves diverge
+// per query, which is exactly the shape that separates prefix-shared
+// evaluation (trie does the structural work once) from per-machine
+// evaluation (every subscription pushes its own channel/article/head
+// entries).
+//
+//	<portal>
+//	  <channel name="c2">
+//	    <article id="a17">
+//	      <head><f12>v3</f12><f86>v0</f86>...</head>
+//	      <body><sec><p>...</p><p>...</p></sec><sec>...</sec></body>
+//	    </article>
+//	  </channel>
+//	</portal>
+type Portal struct {
+	// Channels is the number of <channel> blocks (default 4).
+	Channels int
+	// Articles is the total number of articles, spread round-robin over
+	// the channels.
+	Articles int
+	// Fields is the size of the metadata field-name universe f0..f{N-1}
+	// (default 200); FieldsPerArticle fields are drawn per article
+	// (default 6).
+	Fields           int
+	FieldsPerArticle int
+	// Values is the size of the field-value universe v0..v{M-1} (default
+	// 20).
+	Values int
+	// Secs and Paras shape the structural body filler (defaults 2 and 3).
+	Secs  int
+	Paras int
+	// Seed seeds the deterministic stream.
+	Seed int64
+}
+
+func (p Portal) withDefaults() Portal {
+	if p.Channels == 0 {
+		p.Channels = 4
+	}
+	if p.Fields == 0 {
+		p.Fields = 200
+	}
+	if p.FieldsPerArticle == 0 {
+		p.FieldsPerArticle = 6
+	}
+	if p.Values == 0 {
+		p.Values = 20
+	}
+	if p.Secs == 0 {
+		p.Secs = 2
+	}
+	if p.Paras == 0 {
+		p.Paras = 3
+	}
+	return p
+}
+
+// String renders the whole feed as one document.
+func (p Portal) String() string {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var sb strings.Builder
+	sb.WriteString("<portal>\n")
+	perChannel := (p.Articles + p.Channels - 1) / p.Channels
+	article := 0
+	for c := 0; c < p.Channels && article < p.Articles; c++ {
+		fmt.Fprintf(&sb, " <channel name=\"c%d\">\n", c)
+		for a := 0; a < perChannel && article < p.Articles; a++ {
+			fmt.Fprintf(&sb, "  <article id=\"a%d\">\n   <head>", article)
+			for f := 0; f < p.FieldsPerArticle; f++ {
+				field, value := rng.Intn(p.Fields), rng.Intn(p.Values)
+				fmt.Fprintf(&sb, "<f%d>v%d</f%d>", field, value, field)
+			}
+			sb.WriteString("</head>\n   <body>")
+			for s := 0; s < p.Secs; s++ {
+				sb.WriteString("<sec>")
+				for q := 0; q < p.Paras; q++ {
+					fmt.Fprintf(&sb, "<p>t%d</p>", rng.Intn(97))
+				}
+				sb.WriteString("</sec>")
+			}
+			sb.WriteString("</body>\n  </article>\n")
+			article++
+		}
+		sb.WriteString(" </channel>\n")
+	}
+	sb.WriteString("</portal>\n")
+	return sb.String()
+}
+
+// OverlapQueries builds the standing-subscription workload of the
+// prefix-sharing benchmarks: n queries of which a fraction `overlap` share
+// one of a handful of structural prefixes over the Portal vocabulary
+// (diverging only in their metadata-field leaf and value test), and the
+// rest are dead-vocabulary subscriptions that match no Portal feed — the
+// realistic pub/sub mix where most standing queries are silent on any given
+// document. fields/values must match the Portal generator's universes for
+// the overlapping queries to hit.
+func OverlapQueries(n int, overlap float64, fields, values int, seed int64) []string {
+	if fields == 0 {
+		fields = 200
+	}
+	if values == 0 {
+		values = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	shared := int(float64(n)*overlap + 0.5)
+	if shared > n {
+		shared = n
+	}
+	sources := make([]string, 0, n)
+	// Three prefix families keep the trie from degenerating into a single
+	// chain; all share //channel//article and diverge below it.
+	families := []string{
+		"//channel//article/head/f%d[. = 'v%d']",
+		"/portal/channel//article/head/f%d[. = 'v%d']",
+		"//channel/article/head/f%d[. = 'v%d']",
+	}
+	for i := 0; i < shared; i++ {
+		fam := families[i%len(families)]
+		sources = append(sources, fmt.Sprintf(fam, rng.Intn(fields), rng.Intn(values)))
+	}
+	for i := shared; i < n; i++ {
+		sources = append(sources, fmt.Sprintf("//catalog%d[entry%d]//leaf%d", i, i, i))
+	}
+	return sources
+}

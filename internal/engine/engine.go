@@ -31,6 +31,15 @@
 // refreshes a machine's routing membership exactly when it delivers an event
 // to it.
 //
+// On top of routing, the engine factors the overlapping structural prefixes
+// of its queries into one shared axis-step trie (twigm.CompileShared /
+// twigm.Trie): the trie is evaluated once per event by the session, and the
+// per-query residual machines anchor into its stacks — so the prefix names
+// thousands of overlapping subscriptions share stop being subscriptions of
+// every machine, and per-event cost grows sublinearly in the set size. See
+// the package comment of internal/twigm's shared.go for the exact-equivalence
+// argument, and epoch.go for how grafting/pruning composes with churn.
+//
 // Evaluation state (machines, scanner, routing sets) lives in pooled
 // sessions: a long-lived Engine serving a stream of documents reuses all of
 // it, so steady-state evaluation is nearly allocation-free.
@@ -62,7 +71,8 @@ import (
 // start, while Add/Remove/Replace publish new snapshots without recompiling
 // untouched machines.
 type Engine struct {
-	syms *sax.Symbols
+	syms  *sax.Symbols
+	share bool // factor common prefixes into a shared trie (Config)
 
 	// mu serializes mutations (Add/Remove/Replace). Streams never take it:
 	// they load cur once and run against that immutable epoch.
@@ -76,24 +86,55 @@ type Engine struct {
 	compiles        atomic.Int64
 	compactions     atomic.Int64
 	shardRebalances atomic.Int64
+	trieGrafts      atomic.Int64
+	triePrunes      atomic.Int64
+	trieCompactions atomic.Int64
+
+	// Dispatch accounting, flushed once per stream from session-local
+	// counters (see Metrics).
+	events     atomic.Int64
+	deliveries atomic.Int64
+	triePushes atomic.Int64
+}
+
+// Config tunes engine construction.
+type Config struct {
+	// DisablePrefixSharing compiles every query into a full standalone
+	// machine instead of factoring common location-path prefixes into the
+	// shared trie. Sharing is semantically invisible (results are
+	// byte-identical either way); disabling it exists for ablation
+	// benchmarks and differential tests.
+	DisablePrefixSharing bool
 }
 
 // New compiles the parsed queries against one shared symbol table and builds
-// the routing index. Each query becomes one machine; callers model a union
-// query as one machine per branch.
+// the routing index, with common query prefixes factored into a shared trie.
+// Each query becomes one machine; callers model a union query as one machine
+// per branch.
 func New(queries ...*xpath.Query) (*Engine, error) {
-	e := &Engine{syms: sax.NewSymbols()}
+	return NewConfigured(Config{}, queries...)
+}
+
+// NewConfigured is New with explicit configuration.
+func NewConfigured(cfg Config, queries ...*xpath.Query) (*Engine, error) {
+	e := &Engine{syms: sax.NewSymbols(), share: !cfg.DisablePrefixSharing}
 	ep := &epoch{seq: 1, progs: make([]*twigm.Program, 0, len(queries))}
+	if e.share {
+		ep.trie = twigm.NewTrie()
+	}
 	for _, q := range queries {
-		p, err := twigm.CompileWith(q, e.syms)
+		p, err := e.compileLocked(q)
 		if err != nil {
 			return nil, err
 		}
 		ep.progs = append(ep.progs, p)
+		ep.anchors = append(ep.anchors, -1)
+		e.graftLocked(ep, int32(len(ep.progs)-1), p)
 		e.compiles.Add(1)
 	}
 	ep.elemSubs = make([][]int32, e.syms.Len()+1)
 	ep.attrSubs = make([][]int32, e.syms.Len()+1)
+	ep.outputSubs = make([][]int32, e.syms.Len()+1)
 	for i, p := range ep.progs {
 		ep.subscribe(int32(i), p)
 	}
@@ -201,6 +242,9 @@ func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser b
 		err = ses.ctx.Err()
 	}
 	ses.ctx, ses.done = nil, nil
+	e.events.Add(ses.events)
+	e.deliveries.Add(ses.rt.deliveries)
+	e.triePushes.Add(ses.rt.prun.Pushes())
 	stats := make([]twigm.Stats, len(ep.live))
 	for d, slot := range ep.live {
 		st := ses.runs[slot].Stats()
@@ -233,6 +277,10 @@ type session struct {
 	events   int64
 	elements int64
 	maxDepth int
+
+	// recordable: at least one machine of the current stream serializes
+	// fragments (not CountOnly) — gates attribute-value interest.
+	recordable bool
 }
 
 func newSession(e *Engine) *session {
@@ -253,7 +301,7 @@ func (s *session) sync(ep *epoch) {
 	}
 	s.runs = rekeyRuns(s.ep, s.runs, ep)
 	s.ep = ep
-	s.rt.init(s.runs, ep.elemSubs, ep.attrSubs, ep.wild, ep.live)
+	s.rt.init(s.runs, ep.elemSubs, ep.attrSubs, ep.wild, ep.live, ep.trie, nil)
 }
 
 // rekeyRuns rebuilds a session's slot-indexed run slice for a new epoch,
@@ -287,13 +335,59 @@ func rekeyRuns(old *epoch, oldRuns []*twigm.Run, ep *epoch) []*twigm.Run {
 }
 
 func (s *session) reset(opts []twigm.Options) {
+	s.recordable = false
 	for d, slot := range s.ep.live {
+		if !opts[d].CountOnly {
+			s.recordable = true
+		}
 		s.runs[slot].Reset(opts[d])
+		if a := s.ep.anchors[slot]; a >= 0 {
+			// Anchored residual machines read their trie node's shared
+			// stack; rebind every stream (the session may have resynced
+			// to a different trie since last checkout).
+			s.runs[slot].BindAnchor(s.rt.prun.Stack(a))
+		}
 	}
 	s.events = 0
 	s.elements = 0
 	s.maxDepth = 0
 	s.rt.reset()
+}
+
+// WantsTextEvent implements sax.TextInterest: when no machine is in the
+// text-routing set, the next text event will be delivered to nobody, so the
+// scanner may skip materializing its content (the event itself still
+// arrives and ticks the shared clock). Serial evaluation only — the
+// parallel producer batches events for several workers whose text sets
+// evolve independently, so it does not implement the interface.
+func (s *session) WantsTextEvent() bool { return len(s.rt.textSet.items) > 0 }
+
+// WantsAttrValue implements sax.AttrInterest: an attribute value can only be
+// observed by a machine testing that attribute name, by a machine already
+// serializing a fragment, or by a machine that might START a fragment on
+// this very element — one whose OUTPUT element node matches the tag name
+// (fragments open with the full tag, attributes included), in a stream that
+// records fragments at all (not CountOnly). Everything else lets the
+// scanner skip materializing the value. Missing routing information (an
+// uninterned ID) answers true, matching the router's broadcast fallback.
+func (s *session) WantsAttrValue(elemID, attrID int32) bool {
+	ep := s.ep
+	if len(s.rt.fullSet.items) > 0 {
+		return true
+	}
+	if elemID == sax.SymNone || attrID == sax.SymNone {
+		return true
+	}
+	if attrID > 0 && int(attrID) < len(ep.attrSubs) && len(ep.attrSubs[attrID]) > 0 {
+		return true
+	}
+	if !s.recordable {
+		return false
+	}
+	if len(ep.outputWild) > 0 {
+		return true
+	}
+	return elemID > 0 && int(elemID) < len(ep.outputSubs) && len(ep.outputSubs[elemID]) > 0
 }
 
 // HandleEvent implements sax.Handler: it counts the scan's shared-level
@@ -348,11 +442,23 @@ type router struct {
 	// clock is the scan index of the event being delivered — the serial
 	// half of the emission-order key the parallel merge sorts on.
 	clock int64
+
+	// prun evaluates the shared prefix trie once per event before any
+	// machine delivery; anchored machines read its stacks. The serial
+	// session's router evaluates the whole trie; each parallel shard's
+	// router is restricted (via Rebind's filter) to the anchor paths of
+	// its own machines — sharding the trie by subtree.
+	prun twigm.PrefixRun
+
+	// deliveries counts machine wake-ups this stream (dispatch metrics).
+	deliveries int64
 }
 
 // init wires the router over runs (indexed by global machine id) with the
-// given subscription tables; machines lists the ids this router routes for.
-func (rt *router) init(runs []*twigm.Run, elemSubs, attrSubs [][]int32, wild, machines []int32) {
+// given subscription tables; machines lists the ids this router routes for,
+// trie is the epoch's shared prefix trie (nil without sharing) and trieIDs
+// restricts trie evaluation to a subset of node IDs (nil = all).
+func (rt *router) init(runs []*twigm.Run, elemSubs, attrSubs [][]int32, wild, machines []int32, trie *twigm.Trie, trieIDs []bool) {
 	n := len(runs)
 	rt.runs = runs
 	rt.elemSubs = elemSubs
@@ -363,6 +469,9 @@ func (rt *router) init(runs []*twigm.Run, elemSubs, attrSubs [][]int32, wild, ma
 	rt.endSet.init(n)
 	rt.textSet.init(n)
 	rt.fullSet.init(n)
+	if trie != nil {
+		rt.prun.Rebind(trie, trieIDs)
+	}
 }
 
 // rehost points the router at a new slot universe without touching its
@@ -387,6 +496,8 @@ func (rt *router) reset() {
 	rt.endSet.clear()
 	rt.textSet.clear()
 	rt.fullSet.clear()
+	rt.prun.ResetStream()
+	rt.deliveries = 0
 	for _, i := range rt.machines {
 		rt.refresh(i)
 	}
@@ -406,16 +517,22 @@ func (rt *router) refresh(i int32) {
 // scan index, then refreshes i's routing memberships.
 func (rt *router) deliver(i int32, ev *sax.Event, idx int64) error {
 	rt.clock = idx
+	rt.deliveries++
 	err := rt.runs[i].HandleRouted(ev, idx)
 	rt.refresh(i)
 	return err
 }
 
 // route dispatches one scan event (1-based shared index idx) to the routed
-// machines subscribed to it, in ascending machine order.
+// machines subscribed to it, in ascending machine order. The shared prefix
+// trie is evaluated around the machine deliveries: pushed before them (an
+// anchored machine's axis check may read an entry opened by this very
+// event) and popped after them, mirroring how a machine's own prefix
+// entries would outlive its deeper entries within the event.
 func (rt *router) route(ev *sax.Event, idx int64) error {
 	switch ev.Kind {
 	case sax.StartElement:
+		rt.prun.StartElement(ev)
 		for _, i := range rt.startSubscribers(ev) {
 			if err := rt.deliver(i, ev, idx); err != nil {
 				return err
@@ -430,6 +547,7 @@ func (rt *router) route(ev *sax.Event, idx int64) error {
 				return err
 			}
 		}
+		rt.prun.EndElement(ev.Depth)
 	case sax.Text:
 		for _, i := range rt.snapshot(&rt.textSet) {
 			if err := rt.deliver(i, ev, idx); err != nil {

@@ -63,6 +63,21 @@ type epoch struct {
 	elemSubs [][]int32 // NameID -> live slots subscribed to the element name
 	attrSubs [][]int32 // NameID -> live slots subscribed to the attribute name
 	wild     []int32   // live slots with a '*' element node
+	// outputSubs/outputWild index machines by their OUTPUT element name: the
+	// only machines that can start a fragment recording on an element with
+	// that name. Attribute-value interest routing (sax.AttrInterest) reads
+	// them; they are maintained exactly like elemSubs/wild.
+	outputSubs [][]int32
+	outputWild []int32
+
+	// trie is the shared prefix trie of this membership (nil when the
+	// engine was built with prefix sharing disabled); anchors maps slot ->
+	// trie node ID the slot's residual machine is anchored at (-1 for
+	// unanchored machines). Mutations graft/prune copy-on-write, so the
+	// pair is immutable once the epoch is published, like everything else
+	// here.
+	trie    *twigm.Trie
+	anchors []int32
 
 	garbage int // tombstoned slots in progs
 }
@@ -73,12 +88,16 @@ type epoch struct {
 // compiling the query that triggered this mutation).
 func (ep *epoch) clone(symsLen int) *epoch {
 	next := &epoch{
-		seq:      ep.seq + 1,
-		progs:    append([]*twigm.Program(nil), ep.progs...),
-		elemSubs: growSubs(ep.elemSubs, symsLen),
-		attrSubs: growSubs(ep.attrSubs, symsLen),
-		wild:     ep.wild,
-		garbage:  ep.garbage,
+		seq:        ep.seq + 1,
+		progs:      append([]*twigm.Program(nil), ep.progs...),
+		elemSubs:   growSubs(ep.elemSubs, symsLen),
+		attrSubs:   growSubs(ep.attrSubs, symsLen),
+		wild:       ep.wild,
+		outputSubs: growSubs(ep.outputSubs, symsLen),
+		outputWild: ep.outputWild,
+		trie:       ep.trie,
+		anchors:    append([]int32(nil), ep.anchors...),
+		garbage:    ep.garbage,
 	}
 	return next
 }
@@ -108,6 +127,11 @@ func (ep *epoch) subscribe(slot int32, p *twigm.Program) {
 	if p.HasWildcardElem() {
 		ep.wild = append(ep.wild, slot)
 	}
+	if id, wildcard := p.OutputElemNameID(); wildcard {
+		ep.outputWild = append(ep.outputWild, slot)
+	} else if id > 0 {
+		ep.outputSubs[id] = append(ep.outputSubs[id], slot)
+	}
 }
 
 // unsubscribe rebuilds (fresh backing — older epochs keep reading the old
@@ -121,6 +145,11 @@ func (ep *epoch) unsubscribe(slot int32, p *twigm.Program) {
 	}
 	if p.HasWildcardElem() {
 		ep.wild = without(ep.wild, slot)
+	}
+	if id, wildcard := p.OutputElemNameID(); wildcard {
+		ep.outputWild = without(ep.outputWild, slot)
+	} else if id > 0 {
+		ep.outputSubs[id] = without(ep.outputSubs[id], slot)
 	}
 }
 
@@ -166,15 +195,19 @@ func (ep *epoch) slotOf(p *twigm.Program) int32 {
 // (and their warmed-up allocations) survive the renumbering.
 func (ep *epoch) compact(symsLen int) *epoch {
 	next := &epoch{
-		seq:      ep.seq, // compaction rides the mutation that triggered it
-		progs:    make([]*twigm.Program, 0, len(ep.live)),
-		elemSubs: make([][]int32, symsLen+1),
-		attrSubs: make([][]int32, symsLen+1),
+		seq:        ep.seq, // compaction rides the mutation that triggered it
+		progs:      make([]*twigm.Program, 0, len(ep.live)),
+		elemSubs:   make([][]int32, symsLen+1),
+		attrSubs:   make([][]int32, symsLen+1),
+		outputSubs: make([][]int32, symsLen+1),
+		trie:       ep.trie,
+		anchors:    make([]int32, 0, len(ep.live)),
 	}
 	for _, slot := range ep.live {
 		p := ep.progs[slot]
 		next.subscribe(int32(len(next.progs)), p)
 		next.progs = append(next.progs, p)
+		next.anchors = append(next.anchors, ep.anchors[slot])
 	}
 	next.reindex()
 	return next
@@ -182,15 +215,65 @@ func (ep *epoch) compact(symsLen int) *epoch {
 
 // ---- engine mutations ----
 
-// Add compiles q against the shared symbol table and publishes a new epoch
-// containing it. No existing machine is recompiled or otherwise touched;
-// streams already running keep their snapshot and first see the new machine
-// on their next Stream call. Returns the new machine, which is the handle
-// Remove and Replace take.
+// compileLocked compiles q the way this engine evaluates: prefix-shared
+// (residual machine + profile) by default, a full standalone machine when
+// sharing is disabled.
+func (e *Engine) compileLocked(q *xpath.Query) (*twigm.Program, error) {
+	if !e.share {
+		return twigm.CompileWith(q, e.syms)
+	}
+	return twigm.CompileShared(q, e.syms)
+}
+
+// graftLocked merges p's prefix profile into the epoch's trie and records
+// slot's anchor. No-op for unanchored machines.
+func (e *Engine) graftLocked(ep *epoch, slot int32, p *twigm.Program) {
+	if !p.Anchored() {
+		return
+	}
+	ep.trie, ep.anchors[slot] = ep.trie.Graft(p.Profile(), e.syms.Len())
+	e.trieGrafts.Add(1)
+}
+
+// pruneLocked releases slot's anchor path from the epoch's trie.
+func (e *Engine) pruneLocked(ep *epoch, slot int32) {
+	if a := ep.anchors[slot]; a >= 0 {
+		ep.trie = ep.trie.Prune(a)
+		ep.anchors[slot] = -1
+		e.triePrunes.Add(1)
+	}
+}
+
+// maybeCompactTrieLocked rebuilds the trie with dense node IDs when pruning
+// has left more dead IDs than live nodes (same shape as slot compaction).
+// Machines are NOT recompiled: their stored profiles are re-grafted and the
+// epoch's anchor table rewritten, so pooled sessions just resize their
+// prefix stacks on resync.
+func (e *Engine) maybeCompactTrieLocked(ep *epoch) {
+	t := ep.trie
+	if t == nil || t.Garbage() < compactMinGarbage || t.Garbage() <= t.Live() {
+		return
+	}
+	fresh := twigm.NewTrie()
+	for slot, p := range ep.progs {
+		if p == nil || !p.Anchored() {
+			continue
+		}
+		fresh, ep.anchors[slot] = fresh.Graft(p.Profile(), e.syms.Len())
+	}
+	ep.trie = fresh
+	e.trieCompactions.Add(1)
+}
+
+// Add compiles q against the shared symbol table, grafts its prefix profile
+// into the trie and publishes a new epoch containing it. No existing machine
+// is recompiled or otherwise touched; streams already running keep their
+// snapshot and first see the new machine on their next Stream call. Returns
+// the new machine, which is the handle Remove and Replace take.
 func (e *Engine) Add(q *xpath.Query) (*twigm.Program, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	p, err := twigm.CompileWith(q, e.syms)
+	p, err := e.compileLocked(q)
 	if err != nil {
 		return nil, err
 	}
@@ -198,15 +281,18 @@ func (e *Engine) Add(q *xpath.Query) (*twigm.Program, error) {
 	ep := e.cur.Load().clone(e.syms.Len())
 	slot := int32(len(ep.progs))
 	ep.progs = append(ep.progs, p)
+	ep.anchors = append(ep.anchors, -1)
+	e.graftLocked(ep, slot, p)
 	ep.subscribe(slot, p)
 	ep.reindex()
 	e.cur.Store(ep)
 	return p, nil
 }
 
-// Remove tombstones machine p and publishes a new epoch without it. Streams
-// already running still deliver p's results; later streams do not. When
-// tombstones pass the compaction threshold the new epoch is compacted.
+// Remove tombstones machine p, prunes its trie branch and publishes a new
+// epoch without it. Streams already running still deliver p's results; later
+// streams do not. When tombstones (slots or trie IDs) pass the compaction
+// threshold the new epoch is compacted.
 func (e *Engine) Remove(p *twigm.Program) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -218,19 +304,21 @@ func (e *Engine) Remove(p *twigm.Program) error {
 	ep := old.clone(e.syms.Len())
 	ep.progs[slot] = nil
 	ep.garbage++
+	e.pruneLocked(ep, slot)
 	ep.unsubscribe(slot, p)
 	ep.reindex()
 	if ep.garbage >= compactMinGarbage && ep.garbage > len(ep.live) {
 		ep = ep.compact(e.syms.Len())
 		e.compactions.Add(1)
 	}
+	e.maybeCompactTrieLocked(ep)
 	e.cur.Store(ep)
 	return nil
 }
 
 // Replace swaps machine old for a machine compiled from q, reusing old's
 // slot (the new machine keeps old's position in the dense order). Only q is
-// compiled.
+// compiled; the trie prunes old's branch and grafts the new profile.
 func (e *Engine) Replace(old *twigm.Program, q *xpath.Query) (*twigm.Program, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -239,16 +327,19 @@ func (e *Engine) Replace(old *twigm.Program, q *xpath.Query) (*twigm.Program, er
 	if slot < 0 {
 		return nil, fmt.Errorf("engine: Replace of a machine not in the set")
 	}
-	p, err := twigm.CompileWith(q, e.syms)
+	p, err := e.compileLocked(q)
 	if err != nil {
 		return nil, err
 	}
 	e.compiles.Add(1)
 	ep := cur.clone(e.syms.Len())
 	ep.unsubscribe(slot, old)
+	e.pruneLocked(ep, slot)
 	ep.progs[slot] = p
+	e.graftLocked(ep, slot, p)
 	ep.subscribe(slot, p)
 	ep.reindex()
+	e.maybeCompactTrieLocked(ep)
 	e.cur.Store(ep)
 	return p, nil
 }
@@ -268,18 +359,54 @@ type Metrics struct {
 	Slots           int
 	Live            int
 	Garbage         int
+
+	// Prefix-sharing accounting. TrieNodes is the live shared-trie node
+	// count (0 when sharing is disabled or no query shares); TrieGarbage
+	// counts pruned node IDs awaiting compaction; AnchoredMachines is how
+	// many live machines evaluate as residuals behind the trie.
+	// TrieGrafts/TriePrunes/TrieCompactions count trie mutations over the
+	// engine's lifetime.
+	TrieNodes        int
+	TrieGarbage      int
+	AnchoredMachines int
+	TrieGrafts       int64
+	TriePrunes       int64
+	TrieCompactions  int64
+
+	// Dispatch accounting, cumulative over the engine's lifetime: scan
+	// events routed, machine deliveries made (Deliveries/Events = machines
+	// woken per event — the quantity prefix sharing drives down), and trie
+	// entries pushed by the shared prefix layer.
+	Events     int64
+	Deliveries int64
+	TriePushes int64
 }
 
-// Metrics returns the engine's churn accounting.
+// Metrics returns the engine's churn and dispatch accounting.
 func (e *Engine) Metrics() Metrics {
 	ep := e.cur.Load()
+	anchored := 0
+	for _, slot := range ep.live {
+		if ep.anchors[slot] >= 0 {
+			anchored++
+		}
+	}
 	return Metrics{
-		Epoch:           ep.seq,
-		Compiles:        e.compiles.Load(),
-		Compactions:     e.compactions.Load(),
-		ShardRebalances: e.shardRebalances.Load(),
-		Slots:           len(ep.progs),
-		Live:            len(ep.live),
-		Garbage:         ep.garbage,
+		Epoch:            ep.seq,
+		Compiles:         e.compiles.Load(),
+		Compactions:      e.compactions.Load(),
+		ShardRebalances:  e.shardRebalances.Load(),
+		Slots:            len(ep.progs),
+		Live:             len(ep.live),
+		Garbage:          ep.garbage,
+		TrieNodes:        ep.trie.Live(),
+		TrieGarbage:      ep.trie.Garbage(),
+		AnchoredMachines: anchored,
+		TrieGrafts:       e.trieGrafts.Load(),
+		TriePrunes:       e.triePrunes.Load(),
+		TrieCompactions:  e.trieCompactions.Load(),
+		Events:           e.events.Load(),
+		Deliveries:       e.deliveries.Load(),
+		TriePushes:       e.triePushes.Load(),
 	}
 }

@@ -210,6 +210,15 @@ func (s Snapshot) StreamParallelContext(ctx context.Context, r io.Reader, useStd
 	}
 	wg.Wait()
 
+	e.events.Add(prod.events)
+	var deliveries, triePushes int64
+	for _, w := range ps.workers {
+		deliveries += w.rt.deliveries
+		triePushes += w.rt.prun.Pushes()
+	}
+	e.deliveries.Add(deliveries)
+	e.triePushes.Add(triePushes)
+
 	stats := make([]twigm.Stats, len(ep.live))
 	for d, slot := range ep.live {
 		st := ps.runs[slot].Stats()
@@ -352,10 +361,14 @@ func (ps *psession) sync(ep *epoch) {
 	dirty := make([]bool, ps.nworkers)
 	for slot := range ep.progs {
 		var prev *twigm.Program
+		prevAnchor := int32(-1)
 		if old != nil && slot < len(old.progs) {
 			prev = old.progs[slot]
+			prevAnchor = old.anchors[slot]
 		}
-		if ep.progs[slot] != prev {
+		// An anchor move without a program change (trie compaction
+		// renumbering IDs) also invalidates the shard's trie filter.
+		if ep.progs[slot] != prev || ep.anchors[slot] != prevAnchor {
 			dirty[ps.shardOf(int32(slot))] = true
 		}
 	}
@@ -378,8 +391,12 @@ func (ps *psession) sync(ep *epoch) {
 	rebuilt := int64(0)
 	for wi, w := range ps.workers {
 		if old != nil && !dirty[wi] {
-			// Membership unchanged: the shard keeps its tables; only the
-			// runs slice reference moves to the new slot universe.
+			// Membership unchanged: the shard keeps its tables — and its
+			// current trie reference: the shard's machines and their
+			// anchors are unchanged, and published tries never mutate
+			// nodes in place, so the old trie answers identically for
+			// this shard's anchor paths. Only the runs slice reference
+			// moves to the new slot universe.
 			w.rt.rehost(runs, len(ep.progs))
 			continue
 		}
@@ -394,7 +411,23 @@ func (ps *psession) sync(ep *epoch) {
 				machines = append(machines, slot)
 			}
 		}
-		w.rt.init(runs, shardFilter(ep.elemSubs, ps, wi), shardFilter(ep.attrSubs, ps, wi), wild, machines)
+		// Shard the trie by subtree: this worker evaluates only the trie
+		// nodes on its own machines' anchor paths (ancestors included, so
+		// anchor compatibility checks see their full chain). Other
+		// subtrees cost this worker nothing.
+		var trieIDs []bool
+		if ep.trie != nil {
+			trieIDs = make([]bool, ep.trie.NumIDs())
+			for _, slot := range machines {
+				for id := ep.anchors[slot]; id >= 0; id = ep.trie.Parent(id) {
+					if trieIDs[id] {
+						break // path above already marked
+					}
+					trieIDs[id] = true
+				}
+			}
+		}
+		w.rt.init(runs, shardFilter(ep.elemSubs, ps, wi), shardFilter(ep.attrSubs, ps, wi), wild, machines, ep.trie, trieIDs)
 		if old != nil {
 			rebuilt++
 		}
@@ -442,6 +475,12 @@ func (ps *psession) reset(opts []twigm.Options) {
 		ropts := opts[d]
 		ropts.Emit = ps.emits[slot]
 		ps.runs[slot].Reset(ropts)
+		if a := ps.ep.anchors[slot]; a >= 0 {
+			// Anchored machines read the prefix stacks of the worker that
+			// owns their shard (each worker evaluates its own slice of
+			// the trie).
+			ps.runs[slot].BindAnchor(ps.workers[ps.shardOf(slot)].rt.prun.Stack(a))
+		}
 	}
 	for _, w := range ps.workers {
 		w.cur = nil

@@ -208,6 +208,30 @@ type Handler interface {
 	HandleEvent(ev *Event) error
 }
 
+// TextInterest is an optional Handler refinement: a handler that can prove
+// no downstream consumer will read the NEXT text event's content returns
+// false, and producers may then deliver the Text event with an empty Text
+// string instead of materializing the character data (validation and event
+// accounting are unaffected — the event itself is still delivered, so event
+// clocks are identical either way). The routed query engine implements it
+// from its text-subscription set; producers that batch events for multiple
+// concurrent consumers must not use it.
+type TextInterest interface {
+	WantsTextEvent() bool
+}
+
+// AttrInterest is an optional Handler refinement, the attribute-value
+// counterpart of TextInterest: WantsAttrValue is asked per attribute of the
+// next start-element (both IDs interned against the producer's Symbols
+// table), and false lets the producer deliver that Attr with an empty Value
+// instead of materializing it. Implementations must answer true whenever
+// any consumer could observe the value — including consumers that may start
+// serializing this very element's tag (fragment recording includes every
+// attribute). Parsing and well-formedness validation are unaffected.
+type AttrInterest interface {
+	WantsAttrValue(elemNameID, attrNameID int32) bool
+}
+
 // HandlerFunc adapts a function to the Handler interface.
 type HandlerFunc func(ev *Event) error
 

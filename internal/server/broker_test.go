@@ -309,6 +309,13 @@ func TestConcurrentChurnAndTraffic(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
+	// Publishers run under a cancelable context: nothing consumes the
+	// churned subscriptions' rings, so once one fills, block-policy
+	// back-pressure (correctly) stalls evaluation and with it synchronous
+	// publishes — on a fast enough run the test would hang at wg.Wait
+	// without the cancel.
+	pubCtx, cancelPubs := context.WithCancel(context.Background())
+	defer cancelPubs()
 
 	// Publishers: steady documents on both channels.
 	for _, ch := range channels {
@@ -321,8 +328,9 @@ func TestConcurrentChurnAndTraffic(t *testing.T) {
 					return
 				default:
 				}
-				_, err := b.Publish(context.Background(), ch, feedDoc(3), true)
-				if err != nil && !errors.Is(err, ErrShutdown) && !errors.Is(err, ErrQueueFull) {
+				_, err := b.Publish(pubCtx, ch, feedDoc(3), true)
+				if err != nil && !errors.Is(err, ErrShutdown) && !errors.Is(err, ErrQueueFull) &&
+					!errors.Is(err, context.Canceled) {
 					t.Errorf("publish: %v", err)
 					return
 				}
@@ -364,6 +372,7 @@ func TestConcurrentChurnAndTraffic(t *testing.T) {
 
 	time.Sleep(300 * time.Millisecond)
 	close(stop)
+	cancelPubs()
 	// Wait for churners and publishers BEFORE shutdown so late subscribes
 	// aren't racing it (they'd get ErrShutdown, which is also fine).
 	wg.Wait()

@@ -61,6 +61,18 @@ type Program struct {
 	// valueNodes are element nodes that must accumulate their string-value
 	// (they carry a chain comparison or a self-comparison predicate).
 	valueNodes []*node
+
+	// anchored marks a residual machine built by CompileShared: its root
+	// node's axis checks consult a shared prefix AnchorStack (bound per
+	// stream via Run.BindAnchor) instead of the document node; profile is
+	// the factored-out prefix (see shared.go).
+	anchored bool
+	profile  []TrieStep
+
+	// outputElem is the output node when it is an element (nil for
+	// attribute and text() outputs): the only node whose push can start a
+	// fragment recording — the engine's attribute-value routing reads it.
+	outputElem *node
 }
 
 // node is one machine node: a query node plus its compiled condition.
@@ -151,19 +163,22 @@ func CompileWith(q *xpath.Query, syms *sax.Symbols) (*Program, error) {
 		return nil, err
 	}
 	p.root = root
-
-	// Freeze the ID-keyed dispatch views. The table may keep growing as
-	// later programs intern their names; IDs past the end of these slices
-	// simply belong to no node of this program.
-	p.elemByID = make([][]*node, syms.Len()+1)
-	for name, nodes := range p.elemIndex {
-		p.elemByID[syms.Intern(name)] = nodes
-	}
-	p.attrByID = make([][]*node, syms.Len()+1)
-	for name, nodes := range p.attrIndex {
-		p.attrByID[syms.Intern(name)] = nodes
-	}
+	p.freezeDispatch()
 	return p, nil
+}
+
+// freezeDispatch builds the ID-keyed dispatch views from the name maps. The
+// table may keep growing as later programs intern their names; IDs past the
+// end of these slices simply belong to no node of this program.
+func (p *Program) freezeDispatch() {
+	p.elemByID = make([][]*node, p.syms.Len()+1)
+	for name, nodes := range p.elemIndex {
+		p.elemByID[p.syms.Intern(name)] = nodes
+	}
+	p.attrByID = make([][]*node, p.syms.Len()+1)
+	for name, nodes := range p.attrIndex {
+		p.attrByID[p.syms.Intern(name)] = nodes
+	}
 }
 
 // Symbols returns the table the program's names are interned in.
@@ -270,6 +285,9 @@ func (p *Program) build(qn *xpath.Node, parent *node) (*node, error) {
 		p.valueNodes = append(p.valueNodes, m)
 	}
 	m.prunable = hasFinalLeaf(m.cond)
+	if m.isOutput && m.kind == xpath.Element {
+		p.outputElem = m
+	}
 	return m, nil
 }
 
@@ -451,6 +469,21 @@ func (p *Program) AttrNameIDs() []int32 {
 // therefore must see every start-element event.
 func (p *Program) HasWildcardElem() bool { return len(p.wildElems) > 0 }
 
+// OutputElemNameID returns the symbol ID of the output node's element name
+// when the output is a named element, -1 for attribute/text() outputs, and
+// 0 (with wildcard true) for a '*' output. A fragment recording can only
+// start when this node pushes, which is what the engine's attribute-value
+// interest routing keys on.
+func (p *Program) OutputElemNameID() (id int32, wildcard bool) {
+	if p.outputElem == nil {
+		return -1, false
+	}
+	if p.outputElem.name == "*" {
+		return 0, true
+	}
+	return p.outputElem.nameID, false
+}
+
 // HasTextInterest reports whether any event routing of text is ever needed:
 // the machine has text() nodes or accumulates string-values.
 func (p *Program) HasTextInterest() bool {
@@ -463,9 +496,15 @@ func (p *Program) NumNodes() int { return len(p.nodes) }
 
 // Describe renders the machine tree in the style of figure 3 of the paper:
 // one line per machine node, child-axis edges drawn with '-', descendant
-// edges with '='; the output node is marked with '*'.
+// edges with '='; the output node is marked with '*'. Prefix-shared
+// (anchored) machines lead with the factored-out shared prefix.
 func (p *Program) Describe() string {
 	var b strings.Builder
+	if p.anchored {
+		b.WriteString("(shared prefix ")
+		b.WriteString(ProfileString(p.profile))
+		b.WriteString(")\n")
+	}
 	p.describe(&b, p.root, 0)
 	return b.String()
 }

@@ -107,9 +107,8 @@ type candidate struct {
 	offset      int64 // document-order node identity (Result.NodeOffset)
 	refs        int
 	state       candState
-	open        bool // element still being recorded
+	open        bool // element still being recorded (a recorder.active slot exists)
 	value       string
-	rec         *recording
 	confirmedAt int64
 }
 
@@ -155,6 +154,11 @@ type Run struct {
 	trace   *tracer
 	done    bool
 	failed  error
+
+	// anchor is the shared prefix stack an anchored run's root node checks
+	// against (see shared.go); nil for unanchored programs. Bound per
+	// stream via BindAnchor, it survives Reset.
+	anchor *AnchorStack
 }
 
 // Start instantiates the machine for a new stream.
@@ -394,8 +398,15 @@ func (r *Run) tryPush(m *node, ev *sax.Event) {
 	}
 	d := ev.Depth
 	if m.parent == nil {
-		// Axis from the document node.
-		if m.axis == xpath.Child && d != 1 {
+		if r.prog.anchored {
+			// Axis from the shared prefix: an axis-compatible open trie
+			// entry must exist (the trie pushed this event's entries
+			// before any machine delivery).
+			if !r.anchor.CompatElem(m.axis, d) {
+				return
+			}
+		} else if m.axis == xpath.Child && d != 1 {
+			// Axis from the document node.
 			return
 		}
 	} else {
@@ -511,9 +522,29 @@ func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 	}
 	d := ev.Depth
 	if m.parent == nil {
-		// Query of the form //@a (or /@a, which never matches: the
-		// document node has no attributes).
+		if r.prog.anchored {
+			// Residual '@a' anchored at the shared prefix. Seq parity with
+			// the unshared machine requires creating the candidate for
+			// every matching attribute — the unshared machine allocates
+			// one and only then discovers no axis-compatible prefix entry
+			// exists (propagate finds nothing, the candidate drops,
+			// consuming a Seq number). Confirmation needs an open trie
+			// entry for the owner element (child axis) or a
+			// self-or-ancestor owner (descendant); a residual root
+			// attribute is always the output node (attributes end paths).
+			if m.isOutput {
+				c := r.newCandidate(ev.Offset + 1 + int64(attrIdx))
+				c.value = value
+				if r.anchor.CompatAttr(m.axis, d) {
+					r.confirm(c)
+				}
+				r.resolveIfDead(c)
+			}
+			return
+		}
 		if m.axis == xpath.Child {
+			// Query of the form /@a, which never matches: the document
+			// node has no attributes ('//@a' descends).
 			return
 		}
 		if m.isOutput {
@@ -551,6 +582,24 @@ func (r *Run) text(ev *sax.Event) {
 			continue
 		}
 		if m.parent == nil {
+			if r.prog.anchored {
+				// Residual 'text()' anchored at the shared prefix. The
+				// unshared machine sees text only while a prefix entry is
+				// open (the engine's WantsText gate) and then creates a
+				// candidate unconditionally, dropping it when no entry is
+				// axis-compatible; Seq parity requires reproducing both
+				// steps against the trie stack. A residual root text()
+				// is always the output node (text() ends paths).
+				if m.isOutput && r.anchor.Open() {
+					c := r.newCandidate(ev.Offset)
+					c.value = ev.Text
+					if r.anchor.CompatElem(m.axis, ev.Depth) {
+						r.confirm(c)
+					}
+					r.resolveIfDead(c)
+				}
+				continue
+			}
 			// //text(): every text node is a solution.
 			if m.axis == xpath.Descendant && m.isOutput {
 				c := r.newCandidate(ev.Offset)

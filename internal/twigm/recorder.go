@@ -51,23 +51,24 @@ func (rc *recorder) register(r *Run, c *candidate, level int) {
 	// or its '>' would land inside the new fragment.
 	rc.flushPending()
 	c.open = true
-	c.rec = &recording{cand: c, startLevel: level, start: len(rc.buf)}
-	rc.active = append(rc.active, *c.rec)
+	rc.active = append(rc.active, recording{cand: c, startLevel: level, start: len(rc.buf)})
 }
 
 // drop stops recording a discarded candidate. The shared buffer cannot be
-// trimmed until all recordings finish; only the active slot is released.
+// trimmed until all recordings finish; only the active slot is released
+// (swap-remove — no scan of active ever depends on its order).
 func (rc *recorder) drop(c *candidate) {
-	if c.rec == nil {
+	if !c.open {
 		return
 	}
 	for i := range rc.active {
 		if rc.active[i].cand == c {
-			rc.active = append(rc.active[:i], rc.active[i+1:]...)
+			last := len(rc.active) - 1
+			rc.active[i] = rc.active[last]
+			rc.active = rc.active[:last]
 			break
 		}
 	}
-	c.rec = nil
 	c.open = false
 	rc.maybeReset()
 }
@@ -132,7 +133,8 @@ func (rc *recorder) endElement(r *Run, ev *sax.Event) {
 	}
 	rc.note(r)
 	// Finalize recordings rooted here (there is at most one: a single
-	// output node yields one candidate per element).
+	// output node yields one candidate per element). Swap-remove: active's
+	// order is never significant.
 	for i := len(rc.active) - 1; i >= 0; i-- {
 		rec := &rc.active[i]
 		if rec.startLevel != ev.Depth {
@@ -141,8 +143,9 @@ func (rc *recorder) endElement(r *Run, ev *sax.Event) {
 		c := rec.cand
 		c.value = string(rc.buf[rec.start:])
 		c.open = false
-		c.rec = nil
-		rc.active = append(rc.active[:i], rc.active[i+1:]...)
+		last := len(rc.active) - 1
+		rc.active[i] = rc.active[last]
+		rc.active = rc.active[:last]
 		if c.state == candConfirmed {
 			r.deliver(c)
 		}

@@ -51,6 +51,11 @@ type Scanner struct {
 	// event is reused across emissions to avoid per-event allocation.
 	event sax.Event
 	attrs []sax.Attr
+	// textInterest/attrInterest are the handler's optional interest
+	// refinements, captured once per Run; non-nil lets the scanner skip
+	// materializing character data and attribute values nobody will read.
+	textInterest sax.TextInterest
+	attrInterest sax.AttrInterest
 	// seenRoot records that the root element has closed.
 	seenRoot bool
 	started  bool
@@ -234,6 +239,8 @@ func (s *Scanner) Run(h sax.Handler) error {
 		return fmt.Errorf("xmlscan: Scanner already ran; call Reset before reuse")
 	}
 	s.started = true
+	s.textInterest, _ = h.(sax.TextInterest)
+	s.attrInterest, _ = h.(sax.AttrInterest)
 	if err := s.emit(h, sax.StartDocument, "", 0, "", nil, 0); err != nil {
 		return err
 	}
@@ -768,6 +775,17 @@ func (s *Scanner) flushText(h sax.Handler) error {
 	if len(s.text) == 0 {
 		return nil
 	}
+	if s.depth > 0 && s.textInterest != nil && !s.textInterest.WantsTextEvent() {
+		// No consumer will read this run's content (sax.TextInterest):
+		// validate the characters and deliver the event with an empty
+		// string — the dominant steady-state allocation of value-free
+		// query workloads is the text materialization this skips.
+		if err := s.validateChars(s.text, s.textAt); err != nil {
+			return err
+		}
+		s.text = s.text[:0]
+		return s.emit(h, sax.Text, "", s.depth+1, "", nil, s.textAt)
+	}
 	t, err := s.internTextValidated(s.text, s.textAt)
 	if err != nil {
 		return err
@@ -820,7 +838,8 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 			return err
 		}
 		s.skipSpace()
-		aval, err := s.scanAttrValue()
+		wanted := s.attrInterest == nil || s.attrInterest.WantsAttrValue(name.id, aname.id)
+		aval, err := s.scanAttrValue(wanted)
 		if err != nil {
 			return err
 		}
@@ -857,7 +876,10 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 }
 
 // scanAttrValue parses a quoted attribute value with references resolved.
-func (s *Scanner) scanAttrValue() (string, error) {
+// With wanted false (sax.AttrInterest proved no consumer reads it) the value
+// is fully parsed and validated but returned as "" without materializing a
+// string.
+func (s *Scanner) scanAttrValue(wanted bool) (string, error) {
 	start := s.off
 	q, ok := s.readByte()
 	if !ok {
@@ -874,6 +896,12 @@ func (s *Scanner) scanAttrValue() (string, error) {
 		}
 		if c == q {
 			s.advance(1)
+			if !wanted {
+				if err := s.validateChars(s.valBuf, start); err != nil {
+					return "", err
+				}
+				return "", nil
+			}
 			return s.internTextValidated(s.valBuf, start)
 		}
 		if c == '<' {

@@ -51,12 +51,28 @@ type setEntry struct {
 	progs []*twigm.Program
 }
 
-// NewQuerySet compiles all sources into a set. It fails on the first
-// query that does not compile.
+// SetConfig tunes QuerySet construction.
+type SetConfig struct {
+	// DisablePrefixSharing compiles every query into a full standalone
+	// machine instead of factoring common location-path prefixes into the
+	// set's shared trie. Results are byte-identical either way; the knob
+	// exists for ablation benchmarks and differential testing.
+	DisablePrefixSharing bool
+}
+
+// NewQuerySet compiles all sources into a set, factoring common query
+// prefixes into a shared trie. It fails on the first query that does not
+// compile.
 func NewQuerySet(sources ...string) (*QuerySet, error) {
+	return NewQuerySetConfigured(SetConfig{}, sources...)
+}
+
+// NewQuerySetConfigured is NewQuerySet with explicit configuration.
+func NewQuerySetConfigured(cfg SetConfig, sources ...string) (*QuerySet, error) {
 	qs := &QuerySet{}
 	var err error
-	if qs.eng, err = engine.New(); err != nil {
+	ecfg := engine.Config{DisablePrefixSharing: cfg.DisablePrefixSharing}
+	if qs.eng, err = engine.NewConfigured(ecfg); err != nil {
 		return nil, err
 	}
 	for _, src := range sources {

@@ -25,9 +25,15 @@
 // symbol table; the scanner stamps each event with its name's integer ID,
 // and the engine routes the event only to the machines whose element or
 // attribute tests mention that name (wildcard, text and fragment-recording
-// subscriptions are tracked separately). Evaluating N standing queries over
-// one feed therefore costs one parse plus work proportional to the queries
-// an event actually concerns — not O(N) per event. Machine state, scanner
+// subscriptions are tracked separately). The compilation unit is the query
+// SET: the purely structural leading steps of every query are factored into
+// one shared axis-step trie, evaluated once per event, with each query
+// reduced to a residual machine anchored at its trie node — overlapping
+// subscriptions like //channel//article/head/… pay for their shared prefix
+// once, however many of them are standing. Evaluating N standing queries
+// over one feed therefore costs one parse plus work proportional to the
+// queries an event actually concerns — not O(N) per event — and grows
+// sublinearly in N on overlapping sets. Machine state, scanner
 // buffers and dispatch sets are pooled and reused across documents, so a
 // long-lived Query or QuerySet streams with near-zero steady-state
 // allocation. Options.Parallel shards the machines over N worker goroutines
