@@ -1,0 +1,155 @@
+// Command vitexlint is the repository's static-analysis gate: a multichecker
+// carrying the four repo-specific analyzers (cowsafety, resetcomplete,
+// hotalloc, metricsync) that machine-check the invariants the engine's
+// correctness story rests on. See docs/invariants.md for the annotation
+// vocabulary.
+//
+// It runs two ways:
+//
+//	vitexlint ./...            # standalone, loads packages via go list
+//	go vet -vettool=$(pwd)/vitexlint ./...   # as a vet tool (used in CI)
+//
+// The vet-tool mode speaks cmd/go's unitchecker protocol: -V=full for the
+// build cache key, -flags for flag discovery, and an invocation per package
+// with a vet.cfg JSON file argument.
+//
+// Both modes check production code only: _test.go files are excluded (the
+// standalone loader reads go list's GoFiles; the vet-tool mode filters test
+// files out of the package variants cmd/go feeds it). The invariants are
+// statements about the engine's runtime behavior — tests allocate, mutate
+// and lock freely.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cowsafety"
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/metricsync"
+	"repro/internal/lint/resetcomplete"
+)
+
+// analyzers is the suite, in deterministic report order.
+var analyzers = []*lint.Analyzer{
+	cowsafety.Analyzer,
+	hotalloc.Analyzer,
+	metricsync.Analyzer,
+	resetcomplete.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags; cmd/go requires valid JSON here.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitcheck(args[0]))
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion implements -V=full. cmd/go derives the vet cache key from
+// this entire line, so it must change whenever the binary does: embed a hash
+// of our own executable.
+func printVersion() {
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				sum = hex.EncodeToString(h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("vitexlint version 1.0.0-%s\n", sum)
+}
+
+// standalone loads the given package patterns (default ./...) from the
+// current directory and runs the suite, printing findings to stderr.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vitexlint: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := runSuite(pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vitexlint: %v\n", err)
+			return 1
+		}
+		found += len(diags)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+// A located diagnostic, print-ready and sortable.
+type finding struct {
+	file     string
+	line     int
+	col      int
+	analyzer string
+	msg      string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.file, f.line, f.col, f.analyzer, f.msg)
+}
+
+// runSuite applies every analyzer to one loaded package and returns the
+// findings in file/position order.
+func runSuite(pkg *lint.Package) ([]finding, error) {
+	var out []finding
+	pass := &lint.Pass{
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+	}
+	for _, a := range analyzers {
+		pass.Analyzer = a
+		name := a.Name
+		pass.Report = func(d lint.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			out = append(out, finding{file: pos.Filename, line: pos.Line, col: pos.Column, analyzer: name, msg: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		if out[i].line != out[j].line {
+			return out[i].line < out[j].line
+		}
+		return out[i].col < out[j].col
+	})
+	return out, nil
+}

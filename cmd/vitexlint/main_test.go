@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the vitexlint binary into a temp dir once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vitexlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building vitexlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestSuiteCleanStandalone is the zero-suppressions acceptance gate: the
+// whole repository passes the suite in standalone mode.
+func TestSuiteCleanStandalone(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("vitexlint ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestSuiteCleanAsVetTool runs the same gate through cmd/go's vet -vettool
+// protocol, the way CI invokes it.
+func TestSuiteCleanAsVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go vet over the whole repository in -short mode")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+// TestSuiteReportsViolations proves the gate actually gates: a scratch module
+// with one violation per analyzer fails with each analyzer's diagnostic.
+func TestSuiteReportsViolations(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.24\n")
+	write("scratch.go", `package scratch
+
+import "sync"
+
+// Doc is copy-on-write.
+//
+//vitex:cow
+type Doc struct{ n int }
+
+// Mutate writes outside any cowmut function.
+func Mutate(d *Doc) { d.n++ }
+
+// Buf is pooled.
+//
+//vitex:pooled
+type Buf struct {
+	data []byte
+	pos  int
+}
+
+// Reset misses pos.
+func (b *Buf) Reset() { b.data = b.data[:0] }
+
+// Hot allocates.
+//
+//vitex:hotpath
+func Hot() map[string]int { return map[string]int{} }
+
+// Stats has an unannotated plain counter.
+//
+//vitex:counters
+type Stats struct {
+	mu   sync.Mutex
+	hits int64
+}
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("vitexlint passed a module with violations:\n%s", out)
+	}
+	for _, want := range []string{"cowsafety", "resetcomplete", "hotalloc", "metricsync"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %s diagnostic:\n%s", want, out)
+		}
+	}
+}

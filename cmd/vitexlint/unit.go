@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the JSON config cmd/go writes for each vet invocation
+// (see $GOROOT/src/cmd/go/internal/work/exec.go, type vetConfig).
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	Standard    map[string]bool
+
+	PackageVetx map[string]string // canonical path -> vetx file (facts; unused)
+	VetxOnly    bool              // only write vetx, no diagnostics wanted
+	VetxOutput  string            // write facts here
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the suite on one package described by a cmd/go vet.cfg
+// file, printing diagnostics to stderr. Exit codes follow the unitchecker
+// convention: 0 clean, 1 tool failure, 2 diagnostics.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vitexlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vitexlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go reads VetxOutput back for its cache even when no analyzer
+	// exports facts; write it first so every exit path below is cacheable.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("vitexlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "vitexlint: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only invocations exist to propagate analyzer facts; this
+	// suite exports none, so they are no-ops (this also skips the entire
+	// standard library when vetting with -vettool).
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	// The invariants target production code only; go vet also feeds test
+	// package variants, whose _test.go files are out of scope (matching
+	// standalone mode, which loads go list's GoFiles without tests).
+	goFiles := cfg.GoFiles[:0:0]
+	for _, name := range cfg.GoFiles {
+		if !isTestFile(name) {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "vitexlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := lint.NewImporter(fset, exportMap(&cfg))
+	tpkg, info, err := lint.TypeCheck(cfg.ImportPath, fset, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "vitexlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := runSuite(&lint.Package{PkgPath: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vitexlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// isTestFile reports whether a Go file name (absolute or not) is a test file.
+func isTestFile(name string) bool {
+	return strings.HasSuffix(filepath.Base(name), "_test.go")
+}
+
+// exportMap flattens the cfg's two-level import resolution (import path ->
+// canonical path -> export file) into the single map the importer wants.
+func exportMap(cfg *vetConfig) map[string]string {
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for canonical, file := range cfg.PackageFile {
+		exports[canonical] = file
+	}
+	for path, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[path] = file
+		}
+	}
+	return exports
+}

@@ -70,9 +70,12 @@ import (
 // an internal pool and runs against the membership snapshot current at its
 // start, while Add/Remove/Replace publish new snapshots without recompiling
 // untouched machines.
+//
+//vitex:counters
 type Engine struct {
-	syms  *sax.Symbols
-	share bool // factor common prefixes into a shared trie (Config)
+	syms *sax.Symbols
+	// share selects prefix-shared compilation (Config).
+	share bool //vitex:plain set at construction, read-only afterwards
 
 	// mu serializes mutations (Add/Remove/Replace). Streams never take it:
 	// they load cur once and run against that immutable epoch.
@@ -116,6 +119,8 @@ func New(queries ...*xpath.Query) (*Engine, error) {
 }
 
 // NewConfigured is New with explicit configuration.
+//
+//vitex:cowmut builds the first epoch before the engine escapes
 func NewConfigured(cfg Config, queries ...*xpath.Query) (*Engine, error) {
 	e := &Engine{syms: sax.NewSymbols(), share: !cfg.DisablePrefixSharing}
 	ep := &epoch{seq: 1, progs: make([]*twigm.Program, 0, len(queries))}
@@ -260,18 +265,21 @@ func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser b
 // runs (slot-indexed against the epoch it last synced to), the reusable
 // scanner, and the router over all of them. Sessions are pooled and fully
 // reset between documents; they survive epoch changes by resyncing.
+//
+//vitex:pooled
 type session struct {
-	eng  *Engine
-	ep   *epoch       // epoch the slot-indexed state below matches
+	eng *Engine //vitex:keep engine identity, constant for the session's life
+	// ep is the epoch the slot-indexed state below matches.
+	ep   *epoch       //vitex:keep resync state, realigned by sync() per checkout
 	runs []*twigm.Run // slot -> run (nil for tombstoned slots)
 	rt   router
-	scan *xmlscan.Scanner
+	scan *xmlscan.Scanner //vitex:keep warmed scanner, Reset(r) per stream by StreamContext
 
 	// Cancellation for the stream in flight: done is ctx.Done(), cached so
 	// the per-event poll is one channel read; nil when the context cannot be
 	// canceled. Cleared before the session returns to the pool.
-	ctx  context.Context
-	done <-chan struct{}
+	ctx  context.Context //vitex:keep cleared by StreamContext before pooling
+	done <-chan struct{} //vitex:keep cleared by StreamContext before pooling
 
 	// Shared-scan counters.
 	events   int64
@@ -360,6 +368,8 @@ func (s *session) reset(opts []twigm.Options) {
 // arrives and ticks the shared clock). Serial evaluation only — the
 // parallel producer batches events for several workers whose text sets
 // evolve independently, so it does not implement the interface.
+//
+//vitex:hotpath
 func (s *session) WantsTextEvent() bool { return len(s.rt.textSet.items) > 0 }
 
 // WantsAttrValue implements sax.AttrInterest: an attribute value can only be
@@ -370,6 +380,8 @@ func (s *session) WantsTextEvent() bool { return len(s.rt.textSet.items) > 0 }
 // records fragments at all (not CountOnly). Everything else lets the
 // scanner skip materializing the value. Missing routing information (an
 // uninterned ID) answers true, matching the router's broadcast fallback.
+//
+//vitex:hotpath
 func (s *session) WantsAttrValue(elemID, attrID int32) bool {
 	ep := s.ep
 	if len(s.rt.fullSet.items) > 0 {
@@ -392,6 +404,8 @@ func (s *session) WantsAttrValue(elemID, attrID int32) bool {
 
 // HandleEvent implements sax.Handler: it counts the scan's shared-level
 // quantities and routes the event to the machines subscribed to it.
+//
+//vitex:hotpath
 func (s *session) HandleEvent(ev *sax.Event) error {
 	if s.done != nil {
 		select {
@@ -417,13 +431,15 @@ func (s *session) HandleEvent(ev *sax.Event) error {
 // parallel mode routes over its shard with shard-filtered tables. One
 // implementation for both is what keeps the parallel mode's
 // byte-identical-to-serial guarantee from drifting.
+//
+//vitex:pooled
 type router struct {
-	runs []*twigm.Run // indexed by GLOBAL machine id (shared in parallel mode)
+	runs []*twigm.Run //vitex:keep rewired by init/rehost on resync, not per stream
 
-	elemSubs [][]int32 // NameID -> routed machines subscribed to the name
-	attrSubs [][]int32
-	wild     []int32
-	machines []int32 // all routed machines, ascending: the broadcast set
+	elemSubs [][]int32 //vitex:keep subscription tables, rebuilt only on resync
+	attrSubs [][]int32 //vitex:keep subscription tables, rebuilt only on resync
+	wild     []int32   //vitex:keep subscription tables, rebuilt only on resync
+	machines []int32   //vitex:keep routed-machine set, rebuilt only on resync
 
 	// Dynamic routing sets. endSet holds machines with live stack entries
 	// or an active recording (they need end-element events); textSet holds
@@ -435,13 +451,13 @@ type router struct {
 	fullSet denseSet
 
 	// Per-event dedup of the start-element subscriber union.
-	stamps  []int64
-	stamp   int64
-	scratch []int32
+	stamps  []int64 //vitex:keep dedup stamps; stamp monotonicity makes stale entries harmless
+	stamp   int64   //vitex:keep monotonic epoch for stamps, must never rewind
+	scratch []int32 //vitex:keep reusable subscriber buffer, overwritten per event
 
 	// clock is the scan index of the event being delivered — the serial
 	// half of the emission-order key the parallel merge sorts on.
-	clock int64
+	clock int64 //vitex:keep overwritten by deliver before any read
 
 	// prun evaluates the shared prefix trie once per event before any
 	// machine delivery; anchored machines read its stacks. The serial
@@ -505,6 +521,8 @@ func (rt *router) reset() {
 
 // refresh recomputes machine i's dynamic routing memberships. Called after
 // every delivery to i (the only points its state can change) and at reset.
+//
+//vitex:hotpath
 func (rt *router) refresh(i int32) {
 	run := rt.runs[i]
 	recording := run.Recording()
@@ -515,6 +533,8 @@ func (rt *router) refresh(i int32) {
 
 // deliver hands the event to machine i with the clock synced to the shared
 // scan index, then refreshes i's routing memberships.
+//
+//vitex:hotpath
 func (rt *router) deliver(i int32, ev *sax.Event, idx int64) error {
 	rt.clock = idx
 	rt.deliveries++
@@ -529,6 +549,8 @@ func (rt *router) deliver(i int32, ev *sax.Event, idx int64) error {
 // anchored machine's axis check may read an entry opened by this very
 // event) and popped after them, mirroring how a machine's own prefix
 // entries would outlive its deeper entries within the event.
+//
+//vitex:hotpath
 func (rt *router) route(ev *sax.Event, idx int64) error {
 	switch ev.Kind {
 	case sax.StartElement:
@@ -569,29 +591,23 @@ func (rt *router) route(ev *sax.Event, idx int64) error {
 // wildcard machines, subscribers of any attribute name present, and machines
 // on the full feed. Delivery is in machine order, matching what a broadcast
 // fan-out would do, so interleavings are reproducible.
+//
+//vitex:hotpath
 func (rt *router) startSubscribers(ev *sax.Event) []int32 {
 	rt.stamp++
 	out := rt.scratch[:0]
-	add := func(list []int32) {
-		for _, i := range list {
-			if rt.stamps[i] != rt.stamp {
-				rt.stamps[i] = rt.stamp
-				out = append(out, i)
-			}
-		}
-	}
 	broadcast := false
 	if id := ev.NameID; id == sax.SymNone {
 		// Producer without a symbol table: no routing information.
 		broadcast = true
 	} else if id > 0 && int(id) < len(rt.elemSubs) {
-		add(rt.elemSubs[id])
+		out = rt.appendNew(out, rt.elemSubs[id])
 	}
 	for ai := range ev.Attrs {
 		if id := ev.Attrs[ai].NameID; id == sax.SymNone {
 			broadcast = true
 		} else if id > 0 && int(id) < len(rt.attrSubs) {
-			add(rt.attrSubs[id])
+			out = rt.appendNew(out, rt.attrSubs[id])
 		}
 	}
 	if broadcast {
@@ -599,8 +615,8 @@ func (rt *router) startSubscribers(ev *sax.Event) []int32 {
 		rt.scratch = out
 		return out
 	}
-	add(rt.wild)
-	add(rt.fullSet.items)
+	out = rt.appendNew(out, rt.wild)
+	out = rt.appendNew(out, rt.fullSet.items)
 	// Insertion sort: subscriber counts per event are small by design.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
@@ -611,8 +627,25 @@ func (rt *router) startSubscribers(ev *sax.Event) []int32 {
 	return out
 }
 
+// appendNew appends the members of list not yet stamped this event. A method
+// rather than a closure inside startSubscribers: the closure captured out by
+// reference and allocated per start-element (hotalloc caught it).
+//
+//vitex:hotpath
+func (rt *router) appendNew(out, list []int32) []int32 {
+	for _, i := range list {
+		if rt.stamps[i] != rt.stamp {
+			rt.stamps[i] = rt.stamp
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // snapshot copies a dynamic set into the scratch buffer in machine order, so
 // deliveries can mutate the set while we iterate.
+//
+//vitex:hotpath
 func (rt *router) snapshot(d *denseSet) []int32 {
 	out := append(rt.scratch[:0], d.items...)
 	for i := 1; i < len(out); i++ {
@@ -654,6 +687,7 @@ func (d *denseSet) clear() {
 	d.items = d.items[:0]
 }
 
+//vitex:hotpath
 func (d *denseSet) set(i int32, in bool) {
 	p := d.pos[i]
 	if in == (p >= 0) {

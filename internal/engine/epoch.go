@@ -46,7 +46,11 @@ const compactMinGarbage = 16
 // the live-slot index, and the routing tables restricted to live slots.
 // Everything reachable from an epoch is frozen once the epoch is published;
 // successor epochs share inner subscription lists append-only (see the
-// package comment for why that is safe).
+// package comment for why that is safe). The copy-on-write discipline is
+// machine-checked: only //vitex:cowmut functions (the builders below, which
+// run before Engine.cur.Store publishes the epoch) may write its fields.
+//
+//vitex:cow
 type epoch struct {
 	// seq increments per mutation (diagnostics; sessions compare epoch
 	// pointers, not seqs).
@@ -86,6 +90,8 @@ type epoch struct {
 // subscription tables get fresh outer slices (inner lists shared), and the
 // subscription tables grow to cover symsLen (the table may have grown while
 // compiling the query that triggered this mutation).
+//
+//vitex:cowmut builds the next epoch before publication
 func (ep *epoch) clone(symsLen int) *epoch {
 	next := &epoch{
 		seq:        ep.seq + 1,
@@ -117,6 +123,8 @@ func growSubs(subs [][]int32, symsLen int) [][]int32 {
 // subscribe adds slot to every routing list its program's static
 // subscriptions name. Appends may share backing arrays with older epochs;
 // they only ever write past those epochs' lengths.
+//
+//vitex:cowmut called on unpublished epochs only
 func (ep *epoch) subscribe(slot int32, p *twigm.Program) {
 	for _, id := range p.ElemNameIDs() {
 		ep.elemSubs[id] = append(ep.elemSubs[id], slot)
@@ -136,6 +144,8 @@ func (ep *epoch) subscribe(slot int32, p *twigm.Program) {
 
 // unsubscribe rebuilds (fresh backing — older epochs keep reading the old
 // lists) every routing list that mentions slot, dropping it.
+//
+//vitex:cowmut called on unpublished epochs only
 func (ep *epoch) unsubscribe(slot int32, p *twigm.Program) {
 	for _, id := range p.ElemNameIDs() {
 		ep.elemSubs[id] = without(ep.elemSubs[id], slot)
@@ -165,6 +175,8 @@ func without(list []int32, slot int32) []int32 {
 }
 
 // reindex rebuilds the live/liveIdx views from progs.
+//
+//vitex:cowmut called on unpublished epochs only
 func (ep *epoch) reindex() {
 	ep.live = make([]int32, 0, len(ep.progs)-ep.garbage)
 	ep.liveIdx = make([]int32, len(ep.progs))
@@ -193,6 +205,8 @@ func (ep *epoch) slotOf(p *twigm.Program) int32 {
 // rebuilds the routing tables from scratch. Sessions resynced to a compacted
 // epoch re-key their per-slot state by program identity, so machine runs
 // (and their warmed-up allocations) survive the renumbering.
+//
+//vitex:cowmut builds the compacted epoch before publication
 func (ep *epoch) compact(symsLen int) *epoch {
 	next := &epoch{
 		seq:        ep.seq, // compaction rides the mutation that triggered it
@@ -227,6 +241,8 @@ func (e *Engine) compileLocked(q *xpath.Query) (*twigm.Program, error) {
 
 // graftLocked merges p's prefix profile into the epoch's trie and records
 // slot's anchor. No-op for unanchored machines.
+//
+//vitex:cowmut mutates the unpublished epoch under e.mu
 func (e *Engine) graftLocked(ep *epoch, slot int32, p *twigm.Program) {
 	if !p.Anchored() {
 		return
@@ -236,6 +252,8 @@ func (e *Engine) graftLocked(ep *epoch, slot int32, p *twigm.Program) {
 }
 
 // pruneLocked releases slot's anchor path from the epoch's trie.
+//
+//vitex:cowmut mutates the unpublished epoch under e.mu
 func (e *Engine) pruneLocked(ep *epoch, slot int32) {
 	if a := ep.anchors[slot]; a >= 0 {
 		ep.trie = ep.trie.Prune(a)
@@ -249,6 +267,8 @@ func (e *Engine) pruneLocked(ep *epoch, slot int32) {
 // Machines are NOT recompiled: their stored profiles are re-grafted and the
 // epoch's anchor table rewritten, so pooled sessions just resize their
 // prefix stacks on resync.
+//
+//vitex:cowmut mutates the unpublished epoch under e.mu
 func (e *Engine) maybeCompactTrieLocked(ep *epoch) {
 	t := ep.trie
 	if t == nil || t.Garbage() < compactMinGarbage || t.Garbage() <= t.Live() {
@@ -270,6 +290,8 @@ func (e *Engine) maybeCompactTrieLocked(ep *epoch) {
 // is recompiled or otherwise touched; streams already running keep their
 // snapshot and first see the new machine on their next Stream call. Returns
 // the new machine, which is the handle Remove and Replace take.
+//
+//vitex:cowmut builds the next epoch under e.mu, publishes via cur.Store
 func (e *Engine) Add(q *xpath.Query) (*twigm.Program, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -293,6 +315,8 @@ func (e *Engine) Add(q *xpath.Query) (*twigm.Program, error) {
 // epoch without it. Streams already running still deliver p's results; later
 // streams do not. When tombstones (slots or trie IDs) pass the compaction
 // threshold the new epoch is compacted.
+//
+//vitex:cowmut builds the next epoch under e.mu, publishes via cur.Store
 func (e *Engine) Remove(p *twigm.Program) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -319,6 +343,8 @@ func (e *Engine) Remove(p *twigm.Program) error {
 // Replace swaps machine old for a machine compiled from q, reusing old's
 // slot (the new machine keeps old's position in the dense order). Only q is
 // compiled; the trie prunes old's branch and grafts the new profile.
+//
+//vitex:cowmut builds the next epoch under e.mu, publishes via cur.Store
 func (e *Engine) Replace(old *twigm.Program, q *xpath.Query) (*twigm.Program, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -278,11 +278,19 @@ type resultChunk struct {
 // attribute buffer between events); Name/Text strings are stable by the
 // producer contracts of this repository. refs counts the workers still
 // reading the batch; the last one returns it to the freelist.
+//
+//vitex:pooled
 type eventBatch struct {
-	base   int64 // 1-based scan index of events[0]
+	base   int64 //vitex:keep assigned by HandleEvent when the first event lands
 	events []sax.Event
 	attrs  []sax.Attr
-	refs   atomic.Int32
+	refs   atomic.Int32 //vitex:keep zero when freed (dispatch sets, workers decrement)
+}
+
+// reset truncates the batch's arenas for reuse, keeping their capacity.
+func (b *eventBatch) reset() {
+	b.events = b.events[:0]
+	b.attrs = b.attrs[:0]
 }
 
 // psession is one parallel evaluation's worth of mutable state: all machine
@@ -295,14 +303,17 @@ type eventBatch struct {
 // incrementally: a mutation rebuilds routing state only in the shards whose
 // membership changed (slot i belongs to shard i mod N, so an Add touches
 // exactly one shard).
+//
+//vitex:pooled
 type psession struct {
-	eng      *Engine
-	ep       *epoch // epoch the slot-indexed state below matches
-	nworkers int
-	runs     []*twigm.Run // slot -> run (nil for tombstoned slots)
-	scan     *xmlscan.Scanner
+	eng *Engine //vitex:keep engine identity, constant for the session's life
+	// ep is the epoch the slot-indexed state below matches.
+	ep       *epoch           //vitex:keep resync state, realigned by sync() per checkout
+	nworkers int              //vitex:keep construction constant (pool lookup key)
+	runs     []*twigm.Run     // slot -> run (nil for tombstoned slots)
+	scan     *xmlscan.Scanner //vitex:keep warmed scanner, Reset(r) per stream by StreamParallelContext
 	workers  []*pworker
-	free     chan *eventBatch
+	free     chan *eventBatch //vitex:keep batch freelist, survives streams by design
 	prod     producer
 	// emitOn[slot] records whether the caller installed an Emit for the
 	// machine this stream; the prebuilt internal closures consult it so
@@ -310,15 +321,17 @@ type psession struct {
 	emitOn []bool
 	// emits[slot] is the machine's internal Emit closure, built once per
 	// slot.
-	emits []func(twigm.Result) error
+	emits []func(twigm.Result) error //vitex:keep prebuilt closures, grown by sync only
 }
 
 // pworker owns the machines of one shard: a router restricted to the shard
 // (tables owned by the worker, mutated in place during resyncs — they are
 // session-private), the channels batches and results flow through, and the
 // emission buffer the shard's internal Emit closures append to.
+//
+//vitex:pooled
 type pworker struct {
-	ps *psession
+	ps *psession //vitex:keep owning session, constant for the worker's life
 	rt router
 
 	cur    []emission
@@ -326,6 +339,17 @@ type pworker struct {
 
 	in  chan *eventBatch
 	out chan resultChunk
+}
+
+// reset prepares the worker for a new stream: the emission buffer is handed
+// off chunk-by-chunk during evaluation, the channels were closed by the
+// previous stream, and the router recomputes its dynamic memberships.
+func (w *pworker) reset() {
+	w.cur = nil
+	w.failed = nil
+	w.in = make(chan *eventBatch, 4)
+	w.out = make(chan resultChunk, 8)
+	w.rt.reset()
 }
 
 func newPsession(e *Engine, workers int) *psession {
@@ -483,11 +507,7 @@ func (ps *psession) reset(opts []twigm.Options) {
 		}
 	}
 	for _, w := range ps.workers {
-		w.cur = nil
-		w.failed = nil
-		w.in = make(chan *eventBatch, 4)
-		w.out = make(chan resultChunk, 8)
-		w.rt.reset()
+		w.reset()
 	}
 	ps.prod.reset()
 }
@@ -497,8 +517,10 @@ func (ps *psession) reset(opts []twigm.Options) {
 // producer implements sax.Handler on the scan goroutine: it stamps events
 // into batches, maintains the shared-scan counters, and hands full batches
 // to every worker.
+//
+//vitex:pooled
 type producer struct {
-	ps       *psession
+	ps       *psession //vitex:keep owning session, constant for the producer's life
 	cur      *eventBatch
 	events   int64
 	elements int64
@@ -508,8 +530,8 @@ type producer struct {
 	// Cancellation for the stream in flight: done is ctx.Done(), polled per
 	// event; nil when the context cannot be canceled. Cleared when the
 	// session returns to the pool.
-	ctx  context.Context
-	done <-chan struct{}
+	ctx  context.Context //vitex:keep cleared by StreamParallelContext before pooling
+	done <-chan struct{} //vitex:keep cleared by StreamParallelContext before pooling
 }
 
 func (p *producer) reset() {
@@ -523,8 +545,7 @@ func (p *producer) reset() {
 func (p *producer) batch() *eventBatch {
 	select {
 	case b := <-p.ps.free:
-		b.events = b.events[:0]
-		b.attrs = b.attrs[:0]
+		b.reset()
 		return b
 	default:
 		return &eventBatch{
@@ -537,6 +558,8 @@ func (p *producer) batch() *eventBatch {
 // HandleEvent implements sax.Handler. The scanner reuses its event and
 // attribute buffers between calls, so events are copied by value and
 // attribute slices into the batch arena.
+//
+//vitex:hotpath
 func (p *producer) HandleEvent(ev *sax.Event) error {
 	if p.abort.Load() {
 		return errAborted
@@ -574,6 +597,8 @@ func (p *producer) HandleEvent(ev *sax.Event) error {
 }
 
 // dispatch hands the current batch to every worker.
+//
+//vitex:hotpath
 func (p *producer) dispatch() {
 	b := p.cur
 	p.cur = nil
@@ -600,6 +625,8 @@ func (p *producer) finish() {
 // result chunk per batch. After a machine failure the worker keeps draining
 // (and releasing) batches so the producer and merger never block, but stops
 // delivering events.
+//
+//vitex:hotpath
 func (w *pworker) loop() {
 	for b := range w.in {
 		if w.failed == nil {

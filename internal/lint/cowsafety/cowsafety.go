@@ -1,0 +1,87 @@
+// Package cowsafety enforces the copy-on-write discipline of the epoch
+// engine: once a struct marked //vitex:cow is published (an epoch swapped
+// into the engine's atomic pointer, a Trie shared by live runs), it must
+// never be written again — readers hold snapshots with no locks, so any
+// in-place write is a data race. Mutation is only legal inside the small,
+// audited set of builder/clone functions marked //vitex:cowmut, which by
+// convention operate on private copies before publication.
+//
+// The analyzer reports every assignment, compound assignment, or ++/--
+// whose target is (or passes through) a field of a //vitex:cow struct when
+// the enclosing function is not marked //vitex:cowmut. Constructing a fresh
+// value with a composite literal is always allowed. The check is
+// single-package: every cow type in this repository has only unexported
+// fields, so cross-package writes are compile errors already.
+package cowsafety
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the cowsafety analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "cowsafety",
+	Doc:  "reports writes to fields of //vitex:cow structs outside //vitex:cowmut functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	m := pass.Markers()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil && m.Has(obj, "cowmut") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					if s.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range s.Lhs {
+						checkWrite(pass, m, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, m, s.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkWrite walks the written expression toward its base, reporting the
+// first selection of a field belonging to a //vitex:cow struct. Walking the
+// whole path catches indirect writes such as ep.progs[slot] = nil and
+// t.nodes[id].refs++, both of which mutate cow-owned state.
+func checkWrite(pass *lint.Pass, m *lint.Markers, expr ast.Expr) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if fld := lint.SelectedField(pass.Info, e); fld != nil {
+				owner, _ := lint.NamedStruct(pass.Info.TypeOf(e.X))
+				if owner != nil && m.Has(owner, "cow") {
+					pass.Reportf(e.Sel.Pos(), "write to field %s.%s of copy-on-write type outside a //vitex:cowmut function", owner.Name(), fld.Name())
+					return
+				}
+			}
+			expr = e.X
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package cowsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cowsafety"
+	"repro/internal/lint/linttest"
+)
+
+func TestCowSafety(t *testing.T) {
+	linttest.Run(t, cowsafety.Analyzer, "testdata/cow")
+}

@@ -1,0 +1,85 @@
+// Package cow is a cowsafety fixture modeled on the engine's epoch type:
+// a published copy-on-write snapshot that only annotated builders may touch.
+package cow
+
+// epoch is the published snapshot.
+//
+//vitex:cow
+type epoch struct {
+	seq   uint64
+	progs []*prog
+	subs  [][]int32
+	tr    *trie
+}
+
+// trie is a shared structure reachable from published epochs.
+//
+//vitex:cow
+type trie struct {
+	nodes []node
+	live  int
+}
+
+// node elements are mutated in place by trie builders, so the element type
+// itself is copy-on-write.
+//
+//vitex:cow
+type node struct {
+	refs int32
+}
+
+type prog struct{ id int }
+
+// plain is an ordinary mutable struct; writes to it are never reported.
+type plain struct {
+	count int
+	tab   []int
+}
+
+// clone is an audited builder: it may mutate the private copy it returns.
+//
+//vitex:cowmut
+func (e *epoch) clone() *epoch {
+	next := &epoch{seq: e.seq + 1}
+	next.progs = append(next.progs, e.progs...)
+	next.subs = make([][]int32, len(e.subs))
+	return next
+}
+
+// subscribe is an audited mutator.
+//
+//vitex:cowmut
+func (e *epoch) subscribe(p *prog, slot int) {
+	e.progs[slot] = p
+	e.seq++
+}
+
+// graft mutates the trie through element pointers; legal because annotated.
+//
+//vitex:cowmut
+func graft(t *trie, id int) {
+	t.nodes[id].refs++
+	t.live++
+}
+
+// leakWrite mutates a published epoch outside any builder: every write path
+// must be flagged, including writes through index expressions.
+func leakWrite(e *epoch, p *prog) {
+	e.seq = 9            // want `write to field epoch\.seq of copy-on-write type`
+	e.progs[0] = p       // want `write to field epoch\.progs of copy-on-write type`
+	e.seq++              // want `write to field epoch\.seq of copy-on-write type`
+	e.subs[1] = nil      // want `write to field epoch\.subs of copy-on-write type`
+	e.tr.nodes[2].refs-- // want `write to field node\.refs of copy-on-write type`
+	e.tr.live += 1       // want `write to field trie\.live of copy-on-write type`
+}
+
+// okReads only reads published state and builds fresh values; no reports.
+func okReads(e *epoch, pl *plain) *epoch {
+	pl.count++
+	pl.tab = append(pl.tab, e.tr.live)
+	if len(e.progs) > 0 {
+		pl.count = e.progs[0].id
+	}
+	local := &epoch{seq: e.seq}
+	return local
+}

@@ -1,0 +1,145 @@
+// Package linttest runs a lint.Analyzer over a fixture directory and checks
+// its diagnostics against // want "regexp" expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture directory holds one package of ordinary Go files (kept under
+// testdata/ so the go tool never builds them). A line that should be flagged
+// carries a trailing comment:
+//
+//	e.seq++ // want `write to field`
+//
+// Multiple expectations on one line are written as successive quoted
+// regexps: // want "first" "second". Every diagnostic must match an
+// expectation on its line and every expectation must be matched, or the test
+// fails.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads the fixture package in dir, applies a, and diffs the
+// diagnostics against the fixture's // want expectations.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err == nil {
+				imports[path] = true
+			}
+		}
+	}
+
+	var importPaths []string
+	for p := range imports {
+		importPaths = append(importPaths, p)
+	}
+	sort.Strings(importPaths)
+	exports, err := lint.ExportData(dir, importPaths)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	tpkg, info, err := lint.TypeCheck(files[0].Name.Name, fset, files, lint.NewImporter(fset, exports), "")
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+
+	var diags []lint.Diagnostic
+	pass := &lint.Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      tpkg,
+		Info:     info,
+		Report:   func(d lint.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, pos.Column, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				i := strings.Index(c.Text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRE.FindAllString(c.Text[i+len("want "):], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

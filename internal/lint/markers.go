@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MarkerPrefix introduces an annotation comment. Annotations use Go's
+// directive-comment syntax (no space after //), so godoc hides them:
+//
+//	//vitex:cow
+//	//vitex:guardedby=mu
+//	//vitex:keep arena block is recycled deliberately
+//
+// The first token after the colon is the marker name; an optional =value
+// runs to the first whitespace; everything after a space is free-text
+// justification, which the analyzers ignore but humans should write.
+const MarkerPrefix = "//vitex:"
+
+// A Marker is one parsed //vitex: annotation.
+type Marker struct {
+	Name  string
+	Value string
+}
+
+// Markers indexes the //vitex: annotations of a package by the declared
+// object (type, func, or struct field) they document.
+type Markers struct {
+	byObj map[types.Object][]Marker
+}
+
+// Has reports whether obj carries the named marker.
+func (m *Markers) Has(obj types.Object, name string) bool {
+	_, ok := m.Value(obj, name)
+	return ok
+}
+
+// Value returns the =value of the named marker on obj, and whether the
+// marker is present at all.
+func (m *Markers) Value(obj types.Object, name string) (string, bool) {
+	if m == nil || obj == nil {
+		return "", false
+	}
+	for _, mk := range m.byObj[obj] {
+		if mk.Name == name {
+			return mk.Value, true
+		}
+	}
+	return "", false
+}
+
+// CollectMarkers parses the //vitex: annotations of the given files,
+// binding each to the type, function, or struct field whose doc (or trailing
+// line comment) carries it.
+func CollectMarkers(files []*ast.File, info *types.Info) *Markers {
+	m := &Markers{byObj: make(map[types.Object][]Marker)}
+	add := func(obj types.Object, groups ...*ast.CommentGroup) {
+		if obj == nil {
+			return
+		}
+		for _, g := range groups {
+			m.byObj[obj] = append(m.byObj[obj], parseGroup(g)...)
+		}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				add(info.Defs[d.Name], d.Doc)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					add(info.Defs[ts.Name], doc, ts.Comment)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok || st.Fields == nil {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, nm := range fld.Names {
+							add(info.Defs[nm], fld.Doc, fld.Comment)
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+func parseGroup(g *ast.CommentGroup) []Marker {
+	if g == nil {
+		return nil
+	}
+	var out []Marker
+	for _, c := range g.List {
+		rest, ok := strings.CutPrefix(c.Text, MarkerPrefix)
+		if !ok {
+			continue
+		}
+		// Strip free-text justification after the first space.
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			rest = rest[:i]
+		}
+		name, value, _ := strings.Cut(rest, "=")
+		if name != "" {
+			out = append(out, Marker{Name: name, Value: value})
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package metricsync keeps the engine's observability counters honest under
+// concurrency: every counter read by Metrics() races with live streams and
+// churn unless it is an atomic or consistently guarded by a lock. A struct
+// marked //vitex:counters promises that each of its integer- or bool-kinded
+// fields is one of:
+//
+//   - a sync/atomic type (atomic.Int64, atomic.Bool, ...), or a pointer to
+//     one — always safe;
+//   - marked //vitex:guardedby=<mutexField> — then every syntactic access
+//     to the field must occur in a function that calls <mutexField>.Lock()
+//     or .RLock() (on any receiver), or is itself marked //vitex:locked
+//     (callee of a locked region);
+//   - marked //vitex:plain with a justification — immutable configuration
+//     set before the struct is shared.
+//
+// Anything else is reported at the field declaration. The guarded-access
+// check is syntactic and per-function: it proves the author thought about
+// the lock, not that the lock is held on every path — the -race CI job
+// covers the dynamic half.
+package metricsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the metricsync analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "metricsync",
+	Doc:  "reports counter fields of //vitex:counters structs that are neither atomic nor lock-guarded",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	m := pass.Markers()
+	// guarded maps each //vitex:guardedby field to its mutex field name.
+	guarded := make(map[*types.Var]string)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok || !m.Has(obj, "counters") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, nm := range fld.Names {
+						fobj, ok := pass.Info.Defs[nm].(*types.Var)
+						if !ok {
+							continue
+						}
+						checkField(pass, m, obj, fobj, guarded)
+					}
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAccesses(pass, m, fd, guarded)
+		}
+	}
+	return nil
+}
+
+func checkField(pass *lint.Pass, m *lint.Markers, owner *types.TypeName, f *types.Var, guarded map[*types.Var]string) {
+	if isAtomic(f.Type()) || !isCounterKind(f.Type()) || m.Has(f, "plain") {
+		return
+	}
+	if mu, ok := m.Value(f, "guardedby"); ok && mu != "" {
+		guarded[f] = mu
+		return
+	}
+	pass.Reportf(f.Pos(), "counter field %s.%s must be atomic, //vitex:guardedby=<mutex>, or //vitex:plain", owner.Name(), f.Name())
+}
+
+// checkAccesses reports selections of guarded fields from functions that
+// neither lock the guarding mutex nor are marked //vitex:locked.
+func checkAccesses(pass *lint.Pass, m *lint.Markers, fd *ast.FuncDecl, guarded map[*types.Var]string) {
+	if obj := pass.Info.Defs[fd.Name]; obj != nil && m.Has(obj, "locked") {
+		return
+	}
+	locks := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			locks[muSel.Sel.Name] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := lint.SelectedField(pass.Info, sel)
+		if f == nil {
+			return true
+		}
+		mu, ok := guarded[f]
+		if !ok || locks[mu] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "access to %s (//vitex:guardedby=%s) in a function that does not lock %s and is not //vitex:locked", f.Name(), mu, mu)
+		return true
+	})
+}
+
+func isAtomic(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isCounterKind reports whether t is integer- or bool-kinded after peeling
+// named types: the shapes a counter or flag field can take.
+func isCounterKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Info()&types.IsInteger != 0 || b.Info()&types.IsBoolean != 0)
+}

@@ -1,0 +1,12 @@
+package metricsync_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/metricsync"
+)
+
+func TestMetricSync(t *testing.T) {
+	linttest.Run(t, metricsync.Analyzer, "testdata/counters")
+}

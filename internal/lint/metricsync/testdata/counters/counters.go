@@ -1,0 +1,70 @@
+// Package counters is a metricsync fixture modeled on the engine's and the
+// server channel's metrics structs.
+package counters
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stats mixes every legal counter shape with one unsynchronized field.
+//
+//vitex:counters
+type stats struct {
+	mu        sync.Mutex
+	events    atomic.Int64
+	started   atomic.Bool
+	gaps      *atomic.Int64
+	nextSeq   int64 //vitex:guardedby=mu
+	attached  bool  //vitex:guardedby=mu
+	shards    int   //vitex:plain set once at construction
+	racy      int64 // want `counter field stats\.racy must be atomic`
+	name      string
+	callbacks []func()
+}
+
+// bump locks the guarding mutex before touching guarded fields: clean.
+func (s *stats) bump() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq++
+	s.attached = true
+	return s.nextSeq
+}
+
+// snapshotLocked is a callee of a locked region.
+//
+//vitex:locked
+func (s *stats) snapshotLocked() (int64, bool) {
+	return s.nextSeq, s.attached
+}
+
+// leak reads a guarded field without the lock: both accesses are reports.
+func (s *stats) leak() int64 {
+	if s.attached { // want `access to attached \(//vitex:guardedby=mu\)`
+		return 0
+	}
+	return s.nextSeq // want `access to nextSeq \(//vitex:guardedby=mu\)`
+}
+
+// reader uses RLock, which counts as holding the guard.
+type guarded struct {
+	mu sync.RWMutex
+}
+
+func (s *stats) reader(g *guarded) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+func (s *stats) atomics() int64 {
+	s.events.Add(1)
+	s.started.Store(true)
+	if s.gaps != nil {
+		return s.gaps.Load()
+	}
+	return s.events.Load()
+}

@@ -1,0 +1,245 @@
+// Package resetcomplete kills the stale-pooled-field bug class: a type that
+// goes back into a sync.Pool (or the engine's session pools) must have a
+// Reset method that assigns or clears every field, or the next Get observes
+// state from an unrelated stream. The analyzer diffs the struct's field set
+// against the set of fields Reset demonstrably touches.
+//
+// Pooled types are those marked //vitex:pooled plus any struct pulled out of
+// a sync.Pool via a Get type assertion in the package. A field counts as
+// reset when the Reset method (or any same-receiver method it calls,
+// transitively) assigns it, ++/--s it, ranges over it, calls Store on it, or
+// calls a method whose name contains "reset" or "clear" on it (directly or
+// on an indexed element). Assigning the whole receiver (*r = T{}) covers
+// every field. Fields that deliberately survive pooling — retained arenas,
+// interning caches, monotonic clocks — opt out with //vitex:keep and a
+// justification.
+package resetcomplete
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the resetcomplete analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "resetcomplete",
+	Doc:  "reports pooled types whose Reset method leaves fields carrying a previous stream's state",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	m := pass.Markers()
+	pooled := make(map[*types.TypeName]bool)
+
+	// Marked types.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok && m.Has(obj, "pooled") {
+					pooled[obj] = true
+				}
+			}
+		}
+	}
+
+	// Types pulled out of a sync.Pool: pool.Get().(*T).
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok || ta.Type == nil {
+				return true
+			}
+			call, ok := ta.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Get" || !lint.IsNamed(pass.Info.TypeOf(sel.X), "sync", "Pool") {
+				return true
+			}
+			if tn, st := lint.NamedStruct(pass.Info.TypeOf(ta.Type)); tn != nil && st != nil && tn.Pkg() == pass.Pkg {
+				pooled[tn] = true
+			}
+			return true
+		})
+	}
+
+	methods := indexMethods(pass)
+	for tn := range pooled {
+		checkType(pass, m, methods, tn)
+	}
+	return nil
+}
+
+// indexMethods maps every named type in the package to its declared methods.
+func indexMethods(pass *lint.Pass) map[*types.TypeName]map[string]*ast.FuncDecl {
+	idx := make(map[*types.TypeName]map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tn, _ := lint.NamedStruct(pass.Info.TypeOf(fd.Recv.List[0].Type))
+			if tn == nil {
+				continue
+			}
+			if idx[tn] == nil {
+				idx[tn] = make(map[string]*ast.FuncDecl)
+			}
+			idx[tn][fd.Name.Name] = fd
+		}
+	}
+	return idx
+}
+
+func checkType(pass *lint.Pass, m *lint.Markers, methods map[*types.TypeName]map[string]*ast.FuncDecl, tn *types.TypeName) {
+	_, st := lint.NamedStruct(tn.Type())
+	if st == nil {
+		return
+	}
+	var reset *ast.FuncDecl
+	for _, name := range []string{"Reset", "reset"} {
+		if fd := methods[tn][name]; fd != nil {
+			reset = fd
+			break
+		}
+	}
+	if reset == nil {
+		pass.Reportf(tn.Pos(), "pooled type %s has no Reset method", tn.Name())
+		return
+	}
+
+	c := &coverage{pass: pass, methods: methods[tn], covered: make(map[string]bool), seen: make(map[*ast.FuncDecl]bool)}
+	c.method(reset)
+	if c.all {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if c.covered[f.Name()] || m.Has(f, "keep") {
+			continue
+		}
+		pass.Reportf(reset.Name.Pos(), "%s.%s does not reset field %s (pooled type; mark //vitex:keep to opt out)", tn.Name(), reset.Name.Name, f.Name())
+	}
+}
+
+// coverage accumulates the set of receiver fields a Reset method touches,
+// following calls to sibling methods on the same receiver.
+type coverage struct {
+	pass    *lint.Pass
+	methods map[string]*ast.FuncDecl
+	covered map[string]bool
+	seen    map[*ast.FuncDecl]bool
+	all     bool
+}
+
+func (c *coverage) method(fd *ast.FuncDecl) {
+	if c.seen[fd] || fd.Body == nil {
+		return
+	}
+	c.seen[fd] = true
+	recv := receiverObj(c.pass, fd)
+	if recv == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok && c.isRecv(recv, star.X) {
+					c.all = true
+					continue
+				}
+				if f := c.fieldOnRecv(recv, lhs); f != "" {
+					c.covered[f] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := c.fieldOnRecv(recv, s.X); f != "" {
+				c.covered[f] = true
+			}
+		case *ast.RangeStmt:
+			if f := c.fieldOnRecv(recv, s.X); f != "" {
+				c.covered[f] = true
+			}
+		case *ast.CallExpr:
+			sel, ok := s.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// r.sibling(...): union the sibling's coverage.
+			if c.isRecv(recv, sel.X) {
+				if next := c.methods[sel.Sel.Name]; next != nil {
+					c.method(next)
+				}
+				return true
+			}
+			// r.f.Reset(...), r.f.Store(...), r.f[i].clear(...), ...
+			if !resetLike(sel.Sel.Name) {
+				return true
+			}
+			if f := c.fieldOnRecv(recv, sel.X); f != "" {
+				c.covered[f] = true
+			}
+		}
+		return true
+	})
+}
+
+// fieldOnRecv returns the field name when expr is recv.f, recv.f[i], or a
+// parenthesization thereof; deeper selections (recv.f.g) do not count as
+// resetting f.
+func (c *coverage) fieldOnRecv(recv types.Object, expr ast.Expr) string {
+	expr = peel(expr)
+	if ix, ok := expr.(*ast.IndexExpr); ok {
+		expr = peel(ix.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || !c.isRecv(recv, sel.X) {
+		return ""
+	}
+	if f := lint.SelectedField(c.pass.Info, sel); f != nil {
+		return f.Name()
+	}
+	return ""
+}
+
+func (c *coverage) isRecv(recv types.Object, expr ast.Expr) bool {
+	id, ok := peel(expr).(*ast.Ident)
+	return ok && c.pass.Info.Uses[id] == recv
+}
+
+func peel(expr ast.Expr) ast.Expr {
+	for {
+		p, ok := expr.(*ast.ParenExpr)
+		if !ok {
+			return expr
+		}
+		expr = p.X
+	}
+}
+
+func receiverObj(pass *lint.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func resetLike(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "reset") || strings.Contains(l, "clear") || name == "Store"
+}

@@ -1,0 +1,12 @@
+package resetcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/resetcomplete"
+)
+
+func TestResetComplete(t *testing.T) {
+	linttest.Run(t, resetcomplete.Analyzer, "testdata/pool")
+}

@@ -76,6 +76,8 @@ type Attr struct {
 
 // LocalName returns the attribute's local name, splitting Name when the
 // producer did not populate Local.
+//
+//vitex:hotpath
 func (a *Attr) LocalName() string {
 	if a.Local != "" {
 		return a.Local
@@ -87,10 +89,14 @@ func (a *Attr) LocalName() string {
 // IsNamespaceDecl reports whether the attribute is a namespace declaration
 // (xmlns="..." or xmlns:p="..."). Such attributes are preserved in Attrs so
 // fragments serialize faithfully, but they never match attribute name tests.
+//
+//vitex:hotpath
 func (a *Attr) IsNamespaceDecl() bool { return IsNamespaceDecl(a.Name) }
 
 // IsNamespaceDecl reports whether a lexical attribute name declares a
 // namespace.
+//
+//vitex:hotpath
 func IsNamespaceDecl(name string) bool {
 	return name == "xmlns" || (len(name) > 6 && name[:6] == "xmlns:")
 }
@@ -100,6 +106,8 @@ func IsNamespaceDecl(name string) bool {
 // where either part would be empty (":", ":a", "a:") are not QNames; they
 // stay unsplit — the whole name is the local part, matching encoding/xml's
 // treatment (the cross-parser fuzz differential pins this).
+//
+//vitex:hotpath
 func SplitName(name string) (prefix, local string) {
 	for i := 0; i < len(name); i++ {
 		if name[i] == ':' {
@@ -175,6 +183,8 @@ type Event struct {
 
 // LocalName returns the element's local name, splitting Name when the
 // producer did not populate Local.
+//
+//vitex:hotpath
 func (ev *Event) LocalName() string {
 	if ev.Local != "" {
 		return ev.Local
@@ -185,6 +195,8 @@ func (ev *Event) LocalName() string {
 
 // PrefixName returns the element's namespace prefix ("" when none),
 // splitting Name when the producer did not populate Local.
+//
+//vitex:hotpath
 func (ev *Event) PrefixName() string {
 	if ev.Local != "" {
 		return ev.Prefix
@@ -194,6 +206,8 @@ func (ev *Event) PrefixName() string {
 }
 
 // PrefixName returns the attribute's namespace prefix ("" when none).
+//
+//vitex:hotpath
 func (a *Attr) PrefixName() string {
 	if a.Local != "" {
 		return a.Prefix
@@ -246,6 +260,8 @@ type Driver interface {
 
 // Attr lookup helper: Get returns the value of the named attribute and
 // whether it was present.
+//
+//vitex:hotpath
 func GetAttr(attrs []Attr, name string) (string, bool) {
 	for i := range attrs {
 		if attrs[i].Name == name {

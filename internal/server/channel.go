@@ -33,6 +33,8 @@ var (
 // while the broker's worker-pool semaphore bounds how many channels
 // evaluate at once (cross-document parallelism across channels, on top of
 // Options.Parallel's within-document sharding).
+//
+//vitex:counters
 type channel struct {
 	name string
 	b    *Broker
@@ -44,9 +46,9 @@ type channel struct {
 	qs      *vitex.QuerySet
 	subs    []*subscription // parallel to QuerySet query indexes
 	byID    map[string]*subscription
-	nextSub int64
-	nextDoc int64
-	closed  bool
+	nextSub int64 //vitex:guardedby=mu
+	nextDoc int64 //vitex:guardedby=mu
+	closed  bool  //vitex:guardedby=mu
 	queue   chan *job
 
 	wg sync.WaitGroup // drainLoop

@@ -60,10 +60,12 @@ var errSubClosed = errors.New("server: subscription closed")
 // reads (the HTTP layer enforces single attachment), and close may come
 // from anywhere. The mutex-free fields are owned by the pusher; the drop
 // accounting is atomic because the consumer's end-of-stream drain reads it.
+//
+//vitex:counters
 type subRing struct {
 	ch       chan Delivery
 	closedCh chan struct{}
-	policy   Policy
+	policy   Policy //vitex:plain set at construction, read-only afterwards
 
 	closed atomic.Bool
 	// dropped/dropSeq accumulate a pending slow-consumer gap: results

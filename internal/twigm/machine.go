@@ -132,8 +132,10 @@ const candBlockSize = 64
 // Run is a TwigM machine instance processing one XML stream. It implements
 // sax.Handler. Create with Program.Start; Reset prepares the same Run (with
 // all of its warmed-up stacks, arenas and buffers) for another stream.
+//
+//vitex:pooled
 type Run struct {
-	prog *Program
+	prog *Program //vitex:keep compiled program identity, immutable
 	opts Options
 
 	stacks  [][]entry // indexed by node id; nil for attr/text nodes
@@ -145,7 +147,7 @@ type Run struct {
 	liveCands   int
 
 	// candidate arena: blocks[blockIdx][blockUsed] is the next free slot.
-	candBlocks [][]candidate
+	candBlocks [][]candidate //vitex:keep warmed arena blocks, reclaimed wholesale by the index reset
 	blockIdx   int
 	blockUsed  int
 
@@ -158,7 +160,7 @@ type Run struct {
 	// anchor is the shared prefix stack an anchored run's root node checks
 	// against (see shared.go); nil for unanchored programs. Bound per
 	// stream via BindAnchor, it survives Reset.
-	anchor *AnchorStack
+	anchor *AnchorStack //vitex:keep rebound per stream via BindAnchor, survives Reset by contract
 }
 
 // Start instantiates the machine for a new stream.
@@ -219,6 +221,8 @@ func (r *Run) SetClock(events int64) { r.stats.Events = events }
 // scan's 1-based index for this event, so ConfirmedAt/DeliveredAt — and the
 // DeliveredAt stamped on results flushed by the ordered re-sequencer during
 // this delivery — are identical to a run that saw every event.
+//
+//vitex:hotpath
 func (r *Run) HandleRouted(ev *sax.Event, eventIndex int64) error {
 	r.stats.Events = eventIndex - 1
 	return r.HandleEvent(ev)
@@ -239,6 +243,8 @@ func (r *Run) Recording() bool { return len(r.rec.active) > 0 }
 // a text() node's parent (or the document root, for absolute text queries)
 // has a live entry. It only changes state inside HandleEvent, so a router
 // may cache it between deliveries.
+//
+//vitex:hotpath
 func (r *Run) WantsText() bool {
 	if len(r.rec.active) > 0 {
 		return true
@@ -260,6 +266,8 @@ func (r *Run) WantsText() bool {
 }
 
 // HandleEvent implements sax.Handler.
+//
+//vitex:hotpath
 func (r *Run) HandleEvent(ev *sax.Event) error {
 	if r.failed != nil {
 		return r.failed
@@ -291,6 +299,8 @@ func (r *Run) fail(err error) {
 // elemNodes resolves the element machine nodes whose LOCAL name matches the
 // event: a slice index when the event carries a symbol ID, the name map
 // otherwise. Prefixed name tests re-check their prefix in tryPush.
+//
+//vitex:hotpath
 func (r *Run) elemNodes(ev *sax.Event) []*node {
 	if id := ev.NameID; id != sax.SymNone {
 		if id > 0 && int(id) < len(r.prog.elemByID) {
@@ -304,6 +314,8 @@ func (r *Run) elemNodes(ev *sax.Event) []*node {
 // nameMatches reports whether the event's element name satisfies m's name
 // test: wildcard, or equal local names (by symbol ID when both sides carry
 // one) plus an equal prefix when the test is prefixed.
+//
+//vitex:hotpath
 func nameMatches(m *node, ev *sax.Event) bool {
 	if m.name == "*" {
 		return true
@@ -321,6 +333,8 @@ func nameMatches(m *node, ev *sax.Event) bool {
 // attrNodes resolves the attribute machine nodes whose LOCAL name matches
 // the attribute. Callers must still filter with attrMatches (prefix tests,
 // namespace declarations).
+//
+//vitex:hotpath
 func (r *Run) attrNodes(a *sax.Attr) []*node {
 	if id := a.NameID; id != sax.SymNone {
 		if id > 0 && int(id) < len(r.prog.attrByID) {
@@ -334,6 +348,8 @@ func (r *Run) attrNodes(a *sax.Attr) []*node {
 // attrMatches reports whether attribute a is one machine node m names.
 // Namespace declarations (xmlns, xmlns:p) never match: they are namespace
 // machinery, not data.
+//
+//vitex:hotpath
 func attrMatches(a *sax.Attr, m *node) bool {
 	if a.IsNamespaceDecl() {
 		return false
@@ -350,6 +366,7 @@ func attrMatches(a *sax.Attr, m *node) bool {
 
 // ---- event processing ----
 
+//vitex:hotpath
 func (r *Run) startElement(ev *sax.Event) {
 	r.stats.Elements++
 	if ev.Depth > r.stats.MaxDepth {
@@ -392,6 +409,8 @@ func (r *Run) startElement(ev *sax.Event) {
 
 // tryPush pushes an entry for element machine node m if the event satisfies
 // m's name test and axis.
+//
+//vitex:hotpath
 func (r *Run) tryPush(m *node, ev *sax.Event) {
 	if !nameMatches(m, ev) {
 		return
@@ -466,6 +485,8 @@ func (r *Run) tryPush(m *node, ev *sax.Event) {
 // attrFlagsAtPush computes the flag bits of child-axis attribute children
 // given this event's attributes (used for pruning; the attrEvent phase sets
 // the same bits on the pushed entry).
+//
+//vitex:hotpath
 func (r *Run) attrFlagsAtPush(m *node, ev *sax.Event) uint64 {
 	var flags uint64
 	for _, c := range m.children {
@@ -486,6 +507,8 @@ func (r *Run) attrFlagsAtPush(m *node, ev *sax.Event) uint64 {
 }
 
 // cmpOK evaluates an attribute or text machine node's inline comparison.
+//
+//vitex:hotpath
 func cmpOK(m *node, value string) bool {
 	return m.cmp == nil || m.cmp.Eval(value)
 }
@@ -494,6 +517,8 @@ func cmpOK(m *node, value string) bool {
 // axis-compatible with an element at depth d. Open entries in a stack have
 // strictly increasing levels and are all ancestors of the current parse
 // point, so level arithmetic is sound.
+//
+//vitex:hotpath
 func (r *Run) parentCompatExists(m *node, d int) bool {
 	s := r.stacks[m.parent.id]
 	if len(s) == 0 {
@@ -516,6 +541,8 @@ func (r *Run) parentCompatExists(m *node, d int) bool {
 // attribute machine node: the attribute node is instantaneously satisfied
 // (its comparison is final), so it immediately propagates its flag — and its
 // candidate, if it is the output node — to all compatible parent entries.
+//
+//vitex:hotpath
 func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 	if !cmpOK(m, value) {
 		return
@@ -569,6 +596,8 @@ func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 // text handles a character-data event: it extends the string-values of open
 // value-carrying entries, and matches text() machine nodes (each maximal
 // run is one text node; comparisons on runs are final immediately).
+//
+//vitex:hotpath
 func (r *Run) text(ev *sax.Event) {
 	r.rec.text(r, ev)
 	for _, m := range r.prog.valueNodes {
@@ -621,6 +650,7 @@ func (r *Run) text(ev *sax.Event) {
 	}
 }
 
+//vitex:hotpath
 func (r *Run) endElement(ev *sax.Event) {
 	// Recording first: fragments of candidates rooted at this element
 	// must be complete before pop-time satisfaction can deliver them.
@@ -683,6 +713,8 @@ func (e *entry) textValue() string {
 
 // checkTop runs the initial satisfaction check on an entry pushed this
 // event (top of stack at level d).
+//
+//vitex:hotpath
 func (r *Run) checkTop(m *node, d int) {
 	s := r.stacks[m.id]
 	if len(s) == 0 {
@@ -707,6 +739,8 @@ func (r *Run) checkTop(m *node, d int) {
 // image of m. It propagates m's flag to all axis-compatible parent entries
 // and moves the entry's candidates up the spine (or confirms them at the
 // root).
+//
+//vitex:hotpath
 func (r *Run) onSatisfied(m *node, e *entry) {
 	e.satisfied = true
 	if r.trace.on() {
@@ -742,6 +776,8 @@ func (r *Run) onSatisfied(m *node, e *entry) {
 // the compact encoding of the exponentially many pattern matches; the
 // candidate's confirmed latch keeps emission exactly-once despite the
 // fan-out.
+//
+//vitex:hotpath
 func (r *Run) propagate(m *node, level int, c *candidate) {
 	parent := m.parent
 	s := r.stacks[parent.id]
@@ -766,6 +802,8 @@ func (r *Run) propagate(m *node, level int, c *candidate) {
 // text nodes sit strictly below their parents; attributes belong to their
 // owner element (child axis) or to any self-or-ancestor owner (descendant,
 // per the descendant-or-self expansion of '//@a').
+//
+//vitex:hotpath
 func compatRange(m *node, level int) (lo, hi int) {
 	switch {
 	case m.kind == xpath.Attribute && m.axis == xpath.Child:
@@ -781,6 +819,8 @@ func compatRange(m *node, level int) (lo, hi int) {
 
 // deliverFlag sets a flag bit on a parent entry and re-checks its
 // condition.
+//
+//vitex:hotpath
 func (r *Run) deliverFlag(parent *node, e *entry, idx int) {
 	bit := uint64(1) << uint(idx)
 	if e.flags&bit != 0 {
@@ -801,6 +841,8 @@ func (r *Run) deliverFlag(parent *node, e *entry, idx int) {
 
 // deliverCand parks a candidate on a parent entry, or passes it straight
 // through when the entry is already satisfied.
+//
+//vitex:hotpath
 func (r *Run) deliverCand(parent *node, e *entry, c *candidate) {
 	if c.state != candPending {
 		return
@@ -851,6 +893,8 @@ func (r *Run) newCandidate(offset int64) *candidate {
 
 // confirm marks a candidate as a proven solution; it delivers immediately
 // unless the fragment is still being recorded.
+//
+//vitex:hotpath
 func (r *Run) confirm(c *candidate) {
 	if c.state != candPending {
 		return
@@ -867,6 +911,8 @@ func (r *Run) confirm(c *candidate) {
 
 // resolveIfDead drops a pending candidate whose last reference died: no
 // remaining entry can ever confirm it.
+//
+//vitex:hotpath
 func (r *Run) resolveIfDead(c *candidate) {
 	if c.state != candPending || c.refs > 0 {
 		return
@@ -884,6 +930,8 @@ func (r *Run) resolveIfDead(c *candidate) {
 }
 
 // deliver hands a confirmed, fully recorded candidate to the output.
+//
+//vitex:hotpath
 func (r *Run) deliver(c *candidate) {
 	res := Result{
 		Seq:         c.seq,
@@ -901,6 +949,7 @@ func (r *Run) deliver(c *candidate) {
 	r.emit(res)
 }
 
+//vitex:hotpath
 func (r *Run) emit(res Result) {
 	r.count++
 	if r.trace.on() {

@@ -21,9 +21,12 @@ type recording struct {
 // recorder serializes the event stream into the shared buffer and manages
 // candidate fragment lifecycles. Serialization follows the canonical rules
 // of package xmlout exactly, so TwigM fragments compare byte-for-byte with
-// the DOM oracle's.
+// the DOM oracle's. Embedded in the pooled Run, so reset must restore every
+// per-stream field.
+//
+//vitex:pooled
 type recorder struct {
-	countOnly bool
+	countOnly bool //vitex:keep set per stream by Run.applyOptions before events flow
 	active    []recording
 	buf       []byte
 	// pendingTag: the last open tag's '>' is deferred so empty elements
@@ -43,6 +46,8 @@ func (rc *recorder) reset() {
 // register starts recording a fragment for an element output candidate;
 // its start-element event has not been serialized yet. In CountOnly mode
 // the candidate is left closed (no buffering) and delivers on confirmation.
+//
+//vitex:hotpath
 func (rc *recorder) register(r *Run, c *candidate, level int) {
 	if rc.countOnly {
 		return
@@ -57,6 +62,8 @@ func (rc *recorder) register(r *Run, c *candidate, level int) {
 // drop stops recording a discarded candidate. The shared buffer cannot be
 // trimmed until all recordings finish; only the active slot is released
 // (swap-remove — no scan of active ever depends on its order).
+//
+//vitex:hotpath
 func (rc *recorder) drop(c *candidate) {
 	if !c.open {
 		return
@@ -73,6 +80,7 @@ func (rc *recorder) drop(c *candidate) {
 	rc.maybeReset()
 }
 
+//vitex:hotpath
 func (rc *recorder) maybeReset() {
 	if len(rc.active) == 0 {
 		rc.buf = rc.buf[:0]
@@ -80,6 +88,7 @@ func (rc *recorder) maybeReset() {
 	}
 }
 
+//vitex:hotpath
 func (rc *recorder) flushPending() {
 	if rc.pendingTag {
 		rc.buf = append(rc.buf, '>')
@@ -87,6 +96,7 @@ func (rc *recorder) flushPending() {
 	}
 }
 
+//vitex:hotpath
 func (rc *recorder) startElement(r *Run, ev *sax.Event) {
 	if len(rc.active) == 0 {
 		return
@@ -106,6 +116,7 @@ func (rc *recorder) startElement(r *Run, ev *sax.Event) {
 	rc.note(r)
 }
 
+//vitex:hotpath
 func (rc *recorder) text(r *Run, ev *sax.Event) {
 	if len(rc.active) == 0 {
 		return
@@ -153,6 +164,7 @@ func (rc *recorder) endElement(r *Run, ev *sax.Event) {
 	rc.maybeReset()
 }
 
+//vitex:hotpath
 func (rc *recorder) note(r *Run) {
 	if len(rc.buf) > r.stats.PeakBufferedBytes {
 		r.stats.PeakBufferedBytes = len(rc.buf)

@@ -101,7 +101,11 @@ func ProfileString(steps []TrieStep) string {
 
 // ---- the shared prefix trie ----
 
-// trieNode is one axis-step of the shared prefix trie.
+// trieNode is one axis-step of the shared prefix trie. Nodes live inside a
+// Trie's copy-on-write node table and follow its discipline: refs and
+// children change only along the grafted/pruned path of a fresh clone.
+//
+//vitex:cow
 type trieNode struct {
 	step     TrieStep
 	parent   int32   // -1 for steps from the document node
@@ -119,6 +123,8 @@ type trieNode struct {
 // reading an older Trie never observe a mutation. Node IDs are stable for
 // the life of a node (compaction, which renumbers, builds a fresh Trie and
 // re-anchors through the engine's epoch).
+//
+//vitex:cow
 type Trie struct {
 	nodes []trieNode
 	roots []int32   // nodes with parent == -1
@@ -163,6 +169,8 @@ func (t *Trie) Parent(id int32) int32 { return t.nodes[id].parent }
 // clone copies the outer structure for a mutation: the node table is copied
 // (refs and child lists change along the grafted/pruned path), dispatch
 // tables get fresh outer slices with inner lists shared.
+//
+//vitex:cowmut builds the fresh copy a mutation writes into
 func (t *Trie) clone(symsLen int) *Trie {
 	n := symsLen + 1
 	if n < len(t.elem) {
@@ -200,6 +208,8 @@ func (t *Trie) findChild(parent int32, step TrieStep) int32 {
 // anchor node ID (the node of the profile's last step). A nil/empty profile
 // returns the receiver unchanged with anchor -1. symsLen sizes the dispatch
 // table (the symbol table may have grown while compiling the query).
+//
+//vitex:cowmut writes only into the unpublished clone
 func (t *Trie) Graft(steps []TrieStep, symsLen int) (*Trie, int32) {
 	if len(steps) == 0 {
 		return t, -1
@@ -235,6 +245,8 @@ func (t *Trie) Graft(steps []TrieStep, symsLen int) (*Trie, int32) {
 // Prune releases one query's anchor path and returns the new trie. Nodes
 // whose last reference dies are unlinked from every list (fresh backing —
 // older tries keep reading the old lists) and their IDs become garbage.
+//
+//vitex:cowmut writes only into the unpublished clone
 func (t *Trie) Prune(anchor int32) *Trie {
 	if anchor < 0 {
 		return t
@@ -292,6 +304,8 @@ type AnchorStack struct {
 // CompatElem reports whether an element or text node at depth d has an
 // axis-compatible open prefix entry: a proper ancestor for the descendant
 // axis, the immediate parent for the child axis.
+//
+//vitex:hotpath
 func (a *AnchorStack) CompatElem(axis xpath.Axis, d int) bool {
 	if a == nil || len(a.levels) == 0 {
 		return false
@@ -313,6 +327,8 @@ func (a *AnchorStack) CompatElem(axis xpath.Axis, d int) bool {
 // axis-compatible: the owner element itself for the child axis, any
 // self-or-ancestor owner for the descendant axis (the descendant-or-self
 // expansion of '//@a').
+//
+//vitex:hotpath
 func (a *AnchorStack) CompatAttr(axis xpath.Axis, d int) bool {
 	if a == nil || len(a.levels) == 0 {
 		return false
@@ -324,6 +340,8 @@ func (a *AnchorStack) CompatAttr(axis xpath.Axis, d int) bool {
 }
 
 // Open reports whether any prefix entry is open (routing hint).
+//
+//vitex:hotpath
 func (a *AnchorStack) Open() bool { return a != nil && len(a.levels) > 0 }
 
 // prefixOpen is one open trie entry on the PrefixRun's global LIFO.
@@ -383,11 +401,15 @@ func (pr *PrefixRun) ResetStream() {
 func (pr *PrefixRun) Pushes() int64 { return pr.pushes }
 
 // HasOpen reports whether any trie entry is open (end-element routing).
+//
+//vitex:hotpath
 func (pr *PrefixRun) HasOpen() bool { return len(pr.open) > 0 }
 
 // StartElement pushes entries for every trie node the event's element
 // path-matches. Must run before residual machines see the event (anchored
 // child-axis attribute tests read the entry pushed for their owner).
+//
+//vitex:hotpath
 func (pr *PrefixRun) StartElement(ev *sax.Event) {
 	t := pr.trie
 	if t == nil || t.live == 0 {
@@ -412,6 +434,7 @@ func (pr *PrefixRun) StartElement(ev *sax.Event) {
 	}
 }
 
+//vitex:hotpath
 func (pr *PrefixRun) tryPush(nid int32, ev *sax.Event, d int32, checkName bool) {
 	n := &pr.trie.nodes[nid]
 	if n.refs <= 0 {
@@ -445,6 +468,8 @@ func (pr *PrefixRun) tryPush(nid int32, ev *sax.Event, d int32, checkName bool) 
 }
 
 // EndElement pops every trie entry opened at depth d.
+//
+//vitex:hotpath
 func (pr *PrefixRun) EndElement(d int) {
 	for len(pr.open) > 0 {
 		top := pr.open[len(pr.open)-1]

@@ -31,25 +31,27 @@ import (
 // handles one document at a time and is not safe for concurrent use, but can
 // be reused across documents with Reset, keeping its buffers and its name
 // intern cache warm.
+//
+//vitex:pooled
 type Scanner struct {
 	r      io.Reader
-	buf    []byte
-	pos    int   // next unread byte in buf
-	end    int   // valid bytes in buf
-	off    int64 // byte offset of buf[pos] in the input
-	err    error // sticky read error (io.EOF when input exhausted)
+	buf    []byte //vitex:keep warmed read buffer, contents invalidated by the pos/end reset
+	pos    int    // next unread byte in buf
+	end    int    // valid bytes in buf
+	off    int64  // byte offset of buf[pos] in the input
+	err    error  // sticky read error (io.EOF when input exhausted)
 	depth  int
 	stack  []string // open element names, for balance checking
 	text   []byte   // pending character-data run (reusable)
 	textAt int64    // offset of the first byte of the pending text run
-	valBuf []byte   // attribute-value scratch (reusable)
+	valBuf []byte   //vitex:keep attribute-value scratch, truncated before each use
 	// textCache interns short, recurring character-data runs (indentation
 	// whitespace, enumerated values) so they cost no allocation after the
 	// first occurrence. Bounded: past maxTextCacheEntries new strings are
 	// no longer added (lookups still hit).
-	textCache map[string]string
+	textCache map[string]string //vitex:keep cross-document text intern cache by design
 	// event is reused across emissions to avoid per-event allocation.
-	event sax.Event
+	event sax.Event //vitex:keep scratch fully overwritten by emit before every delivery
 	attrs []sax.Attr
 	// textInterest/attrInterest are the handler's optional interest
 	// refinements, captured once per Run; non-nil lets the scanner skip
@@ -68,9 +70,9 @@ type Scanner struct {
 	// name costs one string allocation and one table lookup per scanner —
 	// not per occurrence; nameBuf is the scratch the name bytes are
 	// collected into before the cache lookup.
-	syms     *sax.Symbols
-	interned map[string]symEntry
-	nameBuf  []byte
+	syms     *sax.Symbols        //vitex:keep shared symbol table identity, fixed at construction
+	interned map[string]symEntry //vitex:keep cross-document name cache; Reset drops stale entries itself
+	nameBuf  []byte              //vitex:keep name scratch, truncated before each use
 	// symsLen is the symbol-table length observed at the last Reset, the
 	// staleness check for cached SymUnknown resolutions (see Reset).
 	symsLen int
@@ -165,6 +167,10 @@ func (s *Scanner) Reset(r io.Reader) {
 	s.text = s.text[:0]
 	s.textAt = 0
 	s.attrs = s.attrs[:0]
+	// Drop the interest refinements captured from the previous Run's
+	// handler: a pooled Scanner must not pin the session it last served.
+	s.textInterest = nil
+	s.attrInterest = nil
 	s.seenRoot = false
 	s.started = false
 	s.bomChecked = false
@@ -178,10 +184,19 @@ func (s *Scanner) Reset(r io.Reader) {
 // ID is that of the local name — name tests match locals — except for
 // namespace-declaration attribute names, which get sax.SymUnknown so they
 // never route.
+//
+//vitex:hotpath
 func (s *Scanner) intern(b []byte) symEntry {
 	if e, ok := s.interned[string(b)]; ok {
 		return e
 	}
+	return s.internMiss(b)
+}
+
+// internMiss is the cold half of intern: it materializes and caches the
+// entry for a name seen for the first time (once per distinct name per
+// scanner lifetime, so its string allocation stays off the steady state).
+func (s *Scanner) internMiss(b []byte) symEntry {
 	name := string(b)
 	prefix, local := sax.SplitName(name)
 	e := symEntry{name: name, prefix: prefix, local: local, id: sax.SymNone}
@@ -230,6 +245,44 @@ func (e *SyntaxError) Error() string {
 
 func (s *Scanner) syntaxf(off int64, format string, args ...any) error {
 	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Outlined error constructors for the scan fast paths: passing scalar
+// arguments to syntaxf's variadic boxes them into interfaces at the call
+// site, an allocation paid even on the non-error path in some inlining
+// states. Building these errors in cold helpers keeps the hot scan
+// functions allocation-free (hotalloc proves it).
+
+func (s *Scanner) errBadNameStart(c byte) error {
+	return s.syntaxf(s.off, "invalid name start character %q", c)
+}
+
+func (s *Scanner) errInvalidName(start int64, b []byte) error {
+	return s.syntaxf(start, "invalid XML name %q", b)
+}
+
+func (s *Scanner) errEOFInTag(start int64, name string) error {
+	return s.syntaxf(start, "unexpected EOF in tag <%s>", name)
+}
+
+func (s *Scanner) errDupAttr(start int64, attr, elem string) error {
+	return s.syntaxf(start, "duplicate attribute %q in <%s>", attr, elem)
+}
+
+func (s *Scanner) errUnquotedAttr(q byte) error {
+	return s.syntaxf(s.off-1, "attribute value must be quoted, found %q", q)
+}
+
+func (s *Scanner) errUnmatchedEnd(start int64, name string) error {
+	return s.syntaxf(start, "unmatched end tag </%s>", name)
+}
+
+func (s *Scanner) errMismatchedEnd(start int64, name, open string) error {
+	return s.syntaxf(start, "mismatched end tag: </%s> closes <%s>", name, open)
+}
+
+func (s *Scanner) errIllegalChar(at int64, r rune) error {
+	return s.syntaxf(at, "illegal character code %U", r)
 }
 
 // Run implements sax.Driver: it parses the whole document, delivering events
@@ -281,6 +334,8 @@ func (s *Scanner) skipBOM() error {
 
 // step consumes one token (tag, comment, PI, text run boundary). It returns
 // done=true at clean EOF.
+//
+//vitex:hotpath
 func (s *Scanner) step(h sax.Handler) (bool, error) {
 	if !s.bomChecked {
 		if err := s.skipBOM(); err != nil {
@@ -363,6 +418,7 @@ func (s *Scanner) pendingErr() error {
 	return nil
 }
 
+//vitex:hotpath
 func (s *Scanner) peek() (byte, bool) {
 	for s.pos == s.end {
 		if !s.fill() {
@@ -388,12 +444,15 @@ func (s *Scanner) hasPrefix(lit string) bool {
 	return true
 }
 
+//vitex:hotpath
 func (s *Scanner) advance(n int) {
 	s.pos += n
 	s.off += int64(n)
 }
 
 // readByte consumes and returns the next byte.
+//
+//vitex:hotpath
 func (s *Scanner) readByte() (byte, bool) {
 	c, ok := s.peek()
 	if ok {
@@ -403,6 +462,8 @@ func (s *Scanner) readByte() (byte, bool) {
 }
 
 // skipSpace consumes XML whitespace.
+//
+//vitex:hotpath
 func (s *Scanner) skipSpace() {
 	for {
 		c, ok := s.peek()
@@ -429,13 +490,15 @@ func isNameByte(c byte) bool {
 
 // readNameBytes scans an XML Name into the reusable scratch buffer; the
 // returned slice is valid until the next readNameBytes call.
+//
+//vitex:hotpath
 func (s *Scanner) readNameBytes() ([]byte, error) {
 	c, ok := s.peek()
 	if !ok {
 		return nil, s.syntaxf(s.off, "unexpected EOF, expected name")
 	}
 	if !isNameStart(c) {
-		return nil, s.syntaxf(s.off, "invalid name start character %q", c)
+		return nil, s.errBadNameStart(c)
 	}
 	s.nameBuf = s.nameBuf[:0]
 	for {
@@ -450,6 +513,8 @@ func (s *Scanner) readNameBytes() ([]byte, error) {
 }
 
 // readName scans an XML Name, returning its interned string.
+//
+//vitex:hotpath
 func (s *Scanner) readName() (string, error) {
 	e, err := s.readNameID()
 	return e.name, err
@@ -462,6 +527,8 @@ func (s *Scanner) readName() (string, error) {
 // legal — the same split encoding/xml uses, so the front-ends agree on every
 // name. Degenerate single-colon names (":", "a:", ":a") are accepted
 // unsplit (see sax.SplitName).
+//
+//vitex:hotpath
 func (s *Scanner) readNameID() (symEntry, error) {
 	start := s.off
 	b, err := s.readNameBytes()
@@ -478,7 +545,7 @@ func (s *Scanner) readNameID() (symEntry, error) {
 		}
 	}
 	if colons > 1 || !isXMLName(b) {
-		return symEntry{}, s.syntaxf(start, "invalid XML name %q", b)
+		return symEntry{}, s.errInvalidName(start, b)
 	}
 	return s.intern(b), nil
 }
@@ -504,6 +571,8 @@ func (s *Scanner) expect(lit string) error {
 // caller loop (scanBang appends to s.text). Literal line endings are
 // normalized per XML 1.0 §2.11 ("\r\n" and lone "\r" become "\n"); character
 // references like &#13; are exempt, matching encoding/xml.
+//
+//vitex:hotpath
 func (s *Scanner) scanText() error {
 	if len(s.text) == 0 {
 		s.textAt = s.off
@@ -732,6 +801,8 @@ func parseCharRef(digits string) (rune, error) {
 // UTF-8 and the XML Char production, exactly as encoding/xml does. Comments,
 // processing instructions and skipped directives are not validated — neither
 // front-end looks inside them.
+//
+//vitex:hotpath
 func (s *Scanner) validateChars(b []byte, at int64) error {
 	for i := 0; i < len(b); {
 		c := b[i]
@@ -740,14 +811,14 @@ func (s *Scanner) validateChars(b []byte, at int64) error {
 				i++
 				continue
 			}
-			return s.syntaxf(at, "illegal character code %U", rune(c))
+			return s.errIllegalChar(at, rune(c))
 		}
 		r, size := utf8.DecodeRune(b[i:])
 		if r == utf8.RuneError && size == 1 {
 			return s.syntaxf(at, "invalid UTF-8")
 		}
 		if !inCharacterRange(r) {
-			return s.syntaxf(at, "illegal character code %U", r)
+			return s.errIllegalChar(at, r)
 		}
 		i += size
 	}
@@ -759,6 +830,8 @@ func (s *Scanner) validateChars(b []byte, at int64) error {
 // validation is a pure function of the bytes, so a text-cache hit proves the
 // run was already validated when first interned — repeated feed vocabulary
 // pays one validation pass total, not one per occurrence.
+//
+//vitex:hotpath
 func (s *Scanner) internTextValidated(b []byte, at int64) (string, error) {
 	if len(b) <= maxTextInternLen {
 		if v, ok := s.textCache[string(b)]; ok {
@@ -771,6 +844,7 @@ func (s *Scanner) internTextValidated(b []byte, at int64) (string, error) {
 	return s.internText(b), nil
 }
 
+//vitex:hotpath
 func (s *Scanner) flushText(h sax.Handler) error {
 	if len(s.text) == 0 {
 		return nil
@@ -801,6 +875,8 @@ func (s *Scanner) flushText(h sax.Handler) error {
 }
 
 // scanStartTag parses "<name attr=... >" with '<' already consumed.
+//
+//vitex:hotpath
 func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 	if s.seenRoot && s.depth == 0 {
 		return s.syntaxf(start, "multiple root elements")
@@ -815,7 +891,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 		s.skipSpace()
 		c, ok := s.peek()
 		if !ok {
-			return s.syntaxf(start, "unexpected EOF in tag <%s>", name.name)
+			return s.errEOFInTag(start, name.name)
 		}
 		if c == '>' {
 			s.advance(1)
@@ -845,7 +921,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 		}
 		for i := range s.attrs {
 			if s.attrs[i].Name == aname.name {
-				return s.syntaxf(start, "duplicate attribute %q in <%s>", aname.name, name.name)
+				return s.errDupAttr(start, aname.name, name.name)
 			}
 		}
 		s.attrs = append(s.attrs, sax.Attr{
@@ -879,6 +955,8 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 // With wanted false (sax.AttrInterest proved no consumer reads it) the value
 // is fully parsed and validated but returned as "" without materializing a
 // string.
+//
+//vitex:hotpath
 func (s *Scanner) scanAttrValue(wanted bool) (string, error) {
 	start := s.off
 	q, ok := s.readByte()
@@ -886,7 +964,7 @@ func (s *Scanner) scanAttrValue(wanted bool) (string, error) {
 		return "", s.syntaxf(s.off, "unexpected EOF, expected attribute value")
 	}
 	if q != '\'' && q != '"' {
-		return "", s.syntaxf(s.off-1, "attribute value must be quoted, found %q", q)
+		return "", s.errUnquotedAttr(q)
 	}
 	s.valBuf = s.valBuf[:0]
 	for {
@@ -931,6 +1009,8 @@ func (s *Scanner) scanAttrValue(wanted bool) (string, error) {
 }
 
 // scanEndTag parses "</name>" with "</" already consumed.
+//
+//vitex:hotpath
 func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
 	name, err := s.readNameID()
 	if err != nil {
@@ -941,11 +1021,11 @@ func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
 		return err
 	}
 	if s.depth == 0 {
-		return s.syntaxf(start, "unmatched end tag </%s>", name.name)
+		return s.errUnmatchedEnd(start, name.name)
 	}
 	open := s.stack[len(s.stack)-1]
 	if open != name.name {
-		return s.syntaxf(start, "mismatched end tag: </%s> closes <%s>", name.name, open)
+		return s.errMismatchedEnd(start, name.name, open)
 	}
 	if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
 		return err
@@ -954,6 +1034,7 @@ func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
 	return nil
 }
 
+//vitex:hotpath
 func (s *Scanner) closeElement() {
 	s.stack = s.stack[:len(s.stack)-1]
 	s.depth--
@@ -1346,6 +1427,8 @@ func (s *Scanner) skipDeclTail(start int64) error {
 }
 
 // emit delivers one event to the handler.
+//
+//vitex:hotpath
 func (s *Scanner) emit(h sax.Handler, k sax.Kind, name string, depth int, text string, attrs []sax.Attr, off int64) error {
 	s.event = sax.Event{Kind: k, Name: name, Depth: depth, Text: text, Attrs: attrs, Offset: off}
 	return h.HandleEvent(&s.event)
@@ -1353,6 +1436,8 @@ func (s *Scanner) emit(h sax.Handler, k sax.Kind, name string, depth int, text s
 
 // emitTag delivers a start/end-element event carrying the name's QName split
 // and local-name symbol ID.
+//
+//vitex:hotpath
 func (s *Scanner) emitTag(h sax.Handler, k sax.Kind, name symEntry, depth int, attrs []sax.Attr, off int64) error {
 	s.event = sax.Event{
 		Kind: k, Name: name.name, Prefix: name.prefix, Local: name.local,
