@@ -26,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/server"
@@ -169,13 +170,73 @@ func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
 	return &out, nil
 }
 
-// Results attaches to the subscription's result stream. At most one
+// ResumeToken is a durable stream position: every document before Cursor
+// was fully received, plus the first Seen result deliveries of document
+// Cursor. A token taken from a severed stream (see ErrStreamInterrupted)
+// hands Resume everything it needs to continue without duplicates or loss —
+// provided the server is durable and the cursor is still within WAL
+// retention.
+type ResumeToken struct {
+	Channel string
+	SubID   string
+	Cursor  int64
+	Seen    int64
+}
+
+// ErrStreamInterrupted reports a result stream severed before its "end"
+// delivery — a crashed or restarted server, a dropped connection. Token
+// carries the exact position reached, so the consumer can reconnect with
+// Resume and continue where the break happened.
+type ErrStreamInterrupted struct {
+	Token ResumeToken
+	Err   error
+}
+
+func (e *ErrStreamInterrupted) Error() string {
+	return fmt.Sprintf("vitexd: result stream interrupted at cursor %d (+%d seen): %v",
+		e.Token.Cursor, e.Token.Seen, e.Err)
+}
+
+func (e *ErrStreamInterrupted) Unwrap() error { return e.Err }
+
+// seenAll is the Seen sentinel meaning "skip every remaining delivery of
+// document Cursor on replay". A gap marker set it: the dropped results are
+// acknowledged lost, so a resume must not replay the document they belonged
+// to (that would duplicate the results received before the gap).
+const seenAll = int64(1) << 62
+
+// Results attaches to the subscription's live result stream. At most one
 // consumer may be attached at a time (a second attach gets HTTP 409).
 // Cancel ctx to detach; the subscription and its buffer survive for a
 // reconnect.
 func (c *Client) Results(ctx context.Context, channel, id string) (*ResultStream, error) {
+	return c.attach(ctx, channel, id, "", 0, 0)
+}
+
+// ResultsFrom attaches with a replay: the server re-evaluates retained
+// documents from cursor onward (skipping the first seen results of document
+// cursor) before handing off to the live stream. cursor 0 replays
+// everything the channel's log retains — a late joiner's full catch-up.
+// Requires a durable server (HTTP 400 otherwise).
+func (c *Client) ResultsFrom(ctx context.Context, channel, id string, cursor, seen int64) (*ResultStream, error) {
+	return c.attach(ctx, channel, id,
+		"?from="+strconv.FormatInt(cursor, 10)+"&seen="+strconv.FormatInt(seen, 10),
+		cursor, seen)
+}
+
+// Resume reattaches a severed stream at the position an ErrStreamInterrupted
+// token captured.
+func (c *Client) Resume(ctx context.Context, t ResumeToken) (*ResultStream, error) {
+	return c.ResultsFrom(ctx, t.Channel, t.SubID, t.Cursor, t.Seen)
+}
+
+// attach opens the NDJSON stream. cursor/seen seed the position tracker: a
+// resumed stream that severs again before any delivery must report the
+// position it resumed FROM, not zero — otherwise the second resume would
+// replay (and duplicate) what arrived before the first sever.
+func (c *Client) attach(ctx context.Context, channel, id, query string, cursor, seen int64) (*ResultStream, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+subsPath(channel)+"/"+url.PathEscape(id)+"/results", nil)
+		c.base+subsPath(channel)+"/"+url.PathEscape(id)+"/results"+query, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -190,19 +251,37 @@ func (c *Client) Results(ctx context.Context, channel, id string) (*ResultStream
 	// NDJSON is a stream of concatenated JSON values; json.Decoder consumes
 	// it incrementally with no line-length ceiling (result values carry
 	// whole serialized XML fragments, as large as a published document).
-	return &ResultStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+	return &ResultStream{
+		body:    resp.Body,
+		dec:     json.NewDecoder(resp.Body),
+		channel: channel,
+		id:      id,
+		cursor:  cursor,
+		seen:    seen,
+	}, nil
 }
 
-// ResultStream iterates a subscription's NDJSON deliveries.
+// ResultStream iterates a subscription's NDJSON deliveries and tracks the
+// stream position, so an interruption at any point yields a resume token.
 type ResultStream struct {
-	body  io.ReadCloser
-	dec   *json.Decoder
-	ended bool
+	body    io.ReadCloser
+	dec     *json.Decoder
+	channel string
+	id      string
+	cursor  int64
+	seen    int64
+	ended   bool
+}
+
+// Token snapshots the current stream position as a resume token.
+func (s *ResultStream) Token() ResumeToken {
+	return ResumeToken{Channel: s.channel, SubID: s.id, Cursor: s.cursor, Seen: s.seen}
 }
 
 // Next returns the next delivery. After an "end" delivery (which is
-// returned to the caller), or when the stream is severed, Next returns
-// io.EOF.
+// returned to the caller), Next returns io.EOF. A stream severed before its
+// end delivery returns *ErrStreamInterrupted carrying the resume token for
+// the exact position reached.
 func (s *ResultStream) Next() (*server.Delivery, error) {
 	if s.ended {
 		return nil, io.EOF
@@ -210,13 +289,26 @@ func (s *ResultStream) Next() (*server.Delivery, error) {
 	var d server.Delivery
 	if err := s.dec.Decode(&d); err != nil {
 		s.ended = true
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("vitexd: malformed delivery line: %w", err)
+		return nil, &ErrStreamInterrupted{Token: s.Token(), Err: err}
 	}
-	if d.Type == server.DeliveryEnd {
+	switch d.Type {
+	case server.DeliveryEnd:
 		s.ended = true
+	case server.DeliveryResult:
+		if d.DocSeq != s.cursor {
+			s.cursor, s.seen = d.DocSeq, 0
+		}
+		s.seen++
+	case server.DeliveryGap:
+		// The gap's span is lost (drops) or unavailable (retention,
+		// corruption); either way those deliveries will not come again.
+		// Advance past the span's last document and poison its remainder, so
+		// a resume neither replays what arrived before the gap nor re-loses
+		// the same span. (A drop gap can instead be healed deliberately:
+		// resume from its FromCursor.)
+		if end := max(d.DocSeq, d.ToCursor); end >= s.cursor {
+			s.cursor, s.seen = end, seenAll
+		}
 	}
 	return &d, nil
 }

@@ -270,9 +270,10 @@ func measure(name string, queries, workers, corpusBytes int, metricsOf func() en
 }
 
 // checkBaseline is the benchstat-style regression guard: it compares the
-// just-measured queryset_100 ns/event against the committed baseline record
-// in baselineDir and fails on a regression beyond the threshold. Run it on
-// the same class of hardware the baseline was recorded on.
+// just-measured queryset_100 ns/event and the server_recovery replay rate
+// against the committed baseline records in baselineDir and fails on a
+// regression beyond the threshold. Run it on the same class of hardware the
+// baseline was recorded on.
 func checkBaseline(dir, baselineDir string, out io.Writer) error {
 	const workload = "queryset_100"
 	const threshold = 1.20
@@ -301,6 +302,50 @@ func checkBaseline(dir, baselineDir string, out io.Writer) error {
 	if ratio > threshold {
 		return fmt.Errorf("bench guard: %s regressed %.2fx over the committed baseline (%.1f vs %.1f ns/event)",
 			workload, ratio, cur.NsPerEvent, base.NsPerEvent)
+	}
+	return checkRecoveryBaseline(dir, baselineDir, threshold, out)
+}
+
+// checkRecoveryBaseline guards the durability path: the replay throughput of
+// the largest server_recovery scale must not fall below 1/threshold of the
+// committed baseline. A missing baseline record is skipped (the workload is
+// newer than some checkouts), a missing current record is an error — the run
+// was supposed to produce it.
+func checkRecoveryBaseline(dir, baselineDir string, threshold float64, out io.Writer) error {
+	read := func(d string) (*RecoveryBenchRecord, error) {
+		data, err := os.ReadFile(filepath.Join(d, "BENCH_server_recovery.json"))
+		if err != nil {
+			return nil, err
+		}
+		var rec RecoveryBenchRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, err
+		}
+		if len(rec.Scales) == 0 {
+			return nil, fmt.Errorf("record in %s has no scales", d)
+		}
+		return &rec, nil
+	}
+	base, err := read(baselineDir)
+	if os.IsNotExist(err) {
+		fmt.Fprintln(out, "bench guard: no committed BENCH_server_recovery.json baseline; skipping")
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("recovery baseline: %w", err)
+	}
+	cur, err := read(dir)
+	if err != nil {
+		return fmt.Errorf("recovery current: %w", err)
+	}
+	baseRate := base.Scales[len(base.Scales)-1].ReplayDocsPerSec
+	curRate := cur.Scales[len(cur.Scales)-1].ReplayDocsPerSec
+	ratio := baseRate / curRate
+	fmt.Fprintf(out, "bench guard: server_recovery replay %.0f docs/s vs baseline %.0f (%.2fx, threshold %.2fx)\n",
+		curRate, baseRate, ratio, threshold)
+	if ratio > threshold {
+		return fmt.Errorf("bench guard: server_recovery replay regressed %.2fx under the committed baseline (%.0f vs %.0f docs/s)",
+			ratio, curRate, baseRate)
 	}
 	return nil
 }

@@ -155,6 +155,11 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("bench: server_throughput: %w", err)
 			}
 		}
+		// The recovery workload runs in smoke too: the CI bench guard
+		// compares its replay rate against the committed baseline.
+		if err := serverRecovery(*benchDir, stdout); err != nil {
+			return fmt.Errorf("bench: server_recovery: %w", err)
+		}
 		if *baseline != "" {
 			if err := checkBaseline(*benchDir, *baseline, stdout); err != nil {
 				return err

@@ -59,6 +59,23 @@ func TestBenchJSONWorkloads(t *testing.T) {
 	if !strings.Contains(out.String(), "queryset_100") {
 		t.Fatalf("missing summary line:\n%s", out.String())
 	}
+	// The durability workload writes its own record shape.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_server_recovery.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec RecoveryBenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "server_recovery" || len(rec.Scales) == 0 {
+		t.Fatalf("implausible recovery record %+v", rec)
+	}
+	for _, s := range rec.Scales {
+		if s.Docs <= 0 || s.WALBytes <= 0 || s.RecoverMs <= 0 || s.ReplayDocsPerSec <= 0 {
+			t.Fatalf("implausible recovery scale %+v", s)
+		}
+	}
 }
 
 func TestBenchUnknownExpIgnored(t *testing.T) {

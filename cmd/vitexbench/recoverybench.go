@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/client"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// RecoveryScaleRecord is one WAL-size point of the server_recovery workload:
+// how long a cold vitexd takes to recover a durable channel of that size
+// (manifest load + WAL tail scan), and how fast a subscriber's full replay —
+// re-evaluation of every logged document plus NDJSON delivery over loopback —
+// drains afterwards.
+type RecoveryScaleRecord struct {
+	Docs        int   `json:"docs"`
+	WALBytes    int64 `json:"wal_bytes"`
+	WALSegments int   `json:"wal_segments"`
+	// RecoverMs is server.Open on the populated data directory: channel
+	// manifests, standing queries, and the WAL tail scan that re-establishes
+	// the durable cursor.
+	RecoverMs float64 `json:"recover_ms"`
+	// Replay throughput: a cursor-0 resume re-evaluates the whole retained
+	// log through the live QuerySet and streams the deliveries to the
+	// consumer.
+	ReplayResults       int64   `json:"replay_results"`
+	ReplayDocsPerSec    float64 `json:"replay_docs_per_sec"`
+	ReplayResultsPerSec float64 `json:"replay_results_per_sec"`
+}
+
+// RecoveryBenchRecord is the BENCH_server_recovery.json payload.
+type RecoveryBenchRecord struct {
+	Name       string                `json:"name"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	DocBytes   int                   `json:"doc_bytes"`
+	Query      string                `json:"query"`
+	Scales     []RecoveryScaleRecord `json:"scales"`
+}
+
+// serverRecovery measures crash-recovery cost against WAL size and writes
+// BENCH_server_recovery.json: for each scale it populates a durable channel,
+// discards the broker, times a cold server.Open on the data directory, and
+// then times a full from-zero replay into an attached consumer. Runs in both
+// the full bench and the bench-smoke configuration (the CI regression guard
+// compares the replay rate), so the scales must stay identical across the
+// two.
+func serverRecovery(dir string, out io.Writer) error {
+	doc := datagen.Ticker{Trades: 50, Seed: 1}.String()
+	const query = "//trade[symbol='ACME']/price"
+	rec := &RecoveryBenchRecord{
+		Name:       "server_recovery",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DocBytes:   len(doc),
+		Query:      query,
+	}
+	for _, docs := range []int{128, 512, 2048} {
+		scale, err := measureRecovery(doc, query, docs)
+		if err != nil {
+			return fmt.Errorf("scale %d: %w", docs, err)
+		}
+		rec.Scales = append(rec.Scales, *scale)
+		fmt.Fprintf(out, "%-24s %8.1f ms recover %10.0f docs/s replay  (%d docs, %d WAL bytes)\n",
+			"server_recovery", scale.RecoverMs, scale.ReplayDocsPerSec, docs, scale.WALBytes)
+	}
+	path := filepath.Join(dir, "BENCH_server_recovery.json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-24s -> %s\n", "server_recovery", path)
+	return nil
+}
+
+// serveBroker exposes a broker over loopback and returns its base URL and a
+// teardown that shuts both down.
+func serveBroker(b *server.Broker) (string, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: server.Handler(b)}
+	go srv.Serve(ln)
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := b.Shutdown(ctx); err != nil {
+			return err
+		}
+		return srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func measureRecovery(doc, query string, docs int) (*RecoveryScaleRecord, error) {
+	dataDir, err := os.MkdirTemp("", "vitexbench-recovery-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dataDir)
+	cfg := server.Config{
+		DataDir:  dataDir,
+		RingSize: 1 << 14,
+		Policy:   server.PolicyBlock,
+		// Retention sized so the whole run stays replayable: the workload
+		// measures full-log replay, not retention trimming.
+		WALSegmentBytes:   16 << 20,
+		WALRetainSegments: 64,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Populate: one standing subscription, then the document burst into the
+	// WAL. The subscription must exist before the crash so the replay below
+	// exercises the recovered standing query, as a real resume would.
+	b1, err := server.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, stop1, err := serveBroker(b1)
+	if err != nil {
+		return nil, err
+	}
+	cl := client.New(base)
+	sub, err := cl.Subscribe(ctx, "recovery", query)
+	if err != nil {
+		return nil, err
+	}
+	// A live consumer drains during the populate burst — under the block
+	// policy an unattended ring would wedge the publisher once the burst
+	// outgrows it.
+	live, err := cl.Results(ctx, "recovery", sub.ID)
+	if err != nil {
+		return nil, err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			if _, err := live.Next(); err != nil {
+				return
+			}
+		}
+	}()
+	var perDoc int64
+	for i := 0; i < docs; i++ {
+		pub, err := cl.Publish(ctx, "recovery", strings.NewReader(doc))
+		if err != nil {
+			return nil, err
+		}
+		perDoc = pub.Results
+	}
+	live.Close()
+	<-drained
+	if perDoc == 0 {
+		return nil, fmt.Errorf("workload document has no %s matches; replay would be vacuous", query)
+	}
+	if err := stop1(); err != nil {
+		return nil, err
+	}
+
+	// The recovery under measurement: a cold open of the populated data
+	// directory.
+	start := time.Now()
+	b2, err := server.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recovering: %w", err)
+	}
+	recoverMs := float64(time.Since(start).Microseconds()) / 1e3
+	if got := b2.Recovered()["recovery"]; got != int64(docs) {
+		b2.Shutdown(ctx)
+		return nil, fmt.Errorf("recovered cursor %d, want %d", got, docs)
+	}
+	base2, stop2, err := serveBroker(b2)
+	if err != nil {
+		return nil, err
+	}
+	defer stop2()
+	cl2 := client.New(base2)
+
+	// The replay under measurement: a from-zero resume drains every logged
+	// document's deliveries before going live.
+	stream, err := cl2.ResultsFrom(ctx, "recovery", sub.ID, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer stream.Close()
+	want := int64(docs) * perDoc
+	replayStart := time.Now()
+	var results int64
+	for results < want {
+		d, err := stream.Next()
+		if err != nil {
+			return nil, fmt.Errorf("replay after %d deliveries: %w", results, err)
+		}
+		switch d.Type {
+		case server.DeliveryResult:
+			results++
+		case server.DeliveryGap:
+			return nil, fmt.Errorf("replay gap: %+v", d)
+		case server.DeliveryEnd:
+			return nil, fmt.Errorf("replay ended after %d deliveries, want %d", results, want)
+		}
+	}
+	replay := time.Since(replayStart)
+
+	m, err := cl2.Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryScaleRecord{
+		Docs:                docs,
+		WALBytes:            m.Totals.WALBytes,
+		WALSegments:         m.Totals.WALSegments,
+		RecoverMs:           recoverMs,
+		ReplayResults:       results,
+		ReplayDocsPerSec:    float64(docs) / replay.Seconds(),
+		ReplayResultsPerSec: float64(results) / replay.Seconds(),
+	}, nil
+}

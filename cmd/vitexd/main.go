@@ -9,6 +9,15 @@
 //
 //	vitexd [-addr :8344] [-workers N] [-queue 64] [-ring 256]
 //	       [-policy block|drop] [-parallel 0] [-drain 15s]
+//	       [-data DIR] [-wal-segment-bytes 8388608] [-wal-retain 8] [-wal-sync]
+//
+// With -data the broker is durable: every accepted publish is appended to a
+// per-channel write-ahead log before evaluation, channel definitions and
+// standing subscriptions persist in per-channel manifests, and a restart on
+// the same directory recovers them — document cursors continue from the log
+// tail, and subscribers resume with `?from=CURSOR&seen=K` on the results
+// route (no acknowledged document is lost; torn log tails from a crash are
+// rolled back to the last complete record).
 //
 // The wire protocol (see the repository README, "Serving"):
 //
@@ -63,6 +72,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	policy := fs.String("policy", "block", "slow-consumer policy: block (back-pressure) or drop (gap markers)")
 	parallel := fs.Int("parallel", 0, "within-document sharded evaluation workers (0/1 serial, -1 GOMAXPROCS)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	dataDir := fs.String("data", "", "durable data directory (empty = memory-only, no WAL, no resume)")
+	walSegBytes := fs.Int64("wal-segment-bytes", 8<<20, "write-ahead-log segment rotation size")
+	walRetain := fs.Int("wal-retain", 8, "write-ahead-log segments retained per channel (bounds replay history)")
+	walSync := fs.Bool("wal-sync", false, "fsync the write-ahead log after every publish")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,20 +84,39 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		return err
 	}
 
-	b := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RingSize:   *ring,
-		Policy:     pol,
-		Parallel:   *parallel,
-	})
+	cfg := server.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RingSize:          *ring,
+		Policy:            pol,
+		Parallel:          *parallel,
+		DataDir:           *dataDir,
+		WALSegmentBytes:   *walSegBytes,
+		WALRetainSegments: *walRetain,
+		WALSync:           *walSync,
+	}
+	var b *server.Broker
+	if *dataDir != "" {
+		if b, err = server.Open(cfg); err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		for name, cursor := range b.Recovered() {
+			fmt.Fprintf(stdout, "vitexd recovered channel %q at cursor %d\n", name, cursor)
+		}
+	} else {
+		b = server.New(cfg)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{Handler: server.Handler(b)}
-	fmt.Fprintf(stdout, "vitexd listening on %s (policy=%s workers=%d queue=%d ring=%d parallel=%d)\n",
-		ln.Addr(), pol, b.Config().Workers, *queue, *ring, *parallel)
+	durability := "memory-only"
+	if *dataDir != "" {
+		durability = "data=" + *dataDir
+	}
+	fmt.Fprintf(stdout, "vitexd listening on %s (policy=%s workers=%d queue=%d ring=%d parallel=%d %s)\n",
+		ln.Addr(), pol, b.Config().Workers, *queue, *ring, *parallel, durability)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

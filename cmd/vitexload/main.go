@@ -72,8 +72,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "registered %d subscriptions on %q\n", len(ids), *channelName)
 
 	// One consumer per subscription, counting deliveries until its stream
-	// ends or the run context is canceled.
-	var results, gaps atomic.Int64
+	// ends or the run context is canceled. An interrupted stream (server
+	// restart, dropped connection) resumes from the typed error's token —
+	// against a durable server the consumer continues without loss.
+	var results, gaps, reconnects atomic.Int64
 	var consumers sync.WaitGroup
 	streamCtx, stopStreams := context.WithCancel(ctx)
 	defer stopStreams()
@@ -85,10 +87,19 @@ func run(args []string, stdout io.Writer) error {
 		consumers.Add(1)
 		go func() {
 			defer consumers.Done()
-			defer stream.Close()
 			for {
 				d, err := stream.Next()
+				var interrupted *client.ErrStreamInterrupted
+				if errors.As(err, &interrupted) && streamCtx.Err() == nil {
+					stream.Close()
+					if stream, err = cl.Resume(streamCtx, interrupted.Token); err != nil {
+						return // not durable, or the server stayed gone
+					}
+					reconnects.Add(1)
+					continue
+				}
 				if err != nil {
+					stream.Close()
 					return
 				}
 				switch d.Type {
@@ -97,6 +108,7 @@ func run(args []string, stdout io.Writer) error {
 				case server.DeliveryGap:
 					gaps.Add(1)
 				case server.DeliveryEnd:
+					stream.Close()
 					return
 				}
 			}
@@ -160,8 +172,8 @@ func run(args []string, stdout io.Writer) error {
 	docsPerSec := float64(published.Load()) / elapsed.Seconds()
 	fmt.Fprintf(stdout, "published %d docs (%d trades each) in %.2fs: %.1f docs/sec end-to-end\n",
 		published.Load(), *trades, elapsed.Seconds(), docsPerSec)
-	fmt.Fprintf(stdout, "matches: %d evaluated, %d delivered to consumers, %d gap markers\n",
-		matched.Load(), results.Load(), gaps.Load())
+	fmt.Fprintf(stdout, "matches: %d evaluated, %d delivered to consumers, %d gap markers, %d reconnects\n",
+		matched.Load(), results.Load(), gaps.Load(), reconnects.Load())
 	if published.Load() > 0 && matched.Load() == 0 {
 		return fmt.Errorf("no matches produced; the matching subscriptions should have fired")
 	}

@@ -1,0 +1,257 @@
+package integration
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// buildVitexd compiles the real daemon binary (the crash harness needs a
+// process it can SIGKILL, not an in-process run()).
+func buildVitexd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vitexd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/vitexd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building vitexd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running vitexd subprocess.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startVitexd launches the binary and waits for its listening line.
+func startVitexd(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "vitexd listening on "); ok {
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					select {
+					case addrCh <- rest[:i]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d := &daemon{cmd: cmd, addr: addr}
+		t.Cleanup(d.kill)
+		return d
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("vitexd never reported a listening address")
+		return nil
+	}
+}
+
+// kill SIGKILLs the daemon — no drain, no flush, the crash under test.
+func (d *daemon) kill() {
+	if d.cmd.ProcessState != nil {
+		return
+	}
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// crashDoc is the one-match document the burst publishes: the price names
+// the document's own cursor, so a replayed payload proves WAL integrity,
+// not just presence.
+func crashDoc(n int64) string {
+	return fmt.Sprintf("<feed><trade><symbol>ACME</symbol><price>%d</price></trade></feed>", n)
+}
+
+// TestCrashRecovery is the crash harness: a real vitexd is SIGKILLed in the
+// middle of a publish burst with a live subscriber attached, restarted on
+// the same data directory, and the subscriber resumes from its interruption
+// token. Every acknowledged document must come back exactly once with its
+// exact payload, cursors must be monotonic across the splice, and the
+// post-restart publish must continue the cursor space. Table-driven over
+// both slow-consumer policies.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness")
+	}
+	bin := buildVitexd(t)
+	for _, policy := range []string{"block", "drop"} {
+		t.Run(policy, func(t *testing.T) {
+			dataDir := t.TempDir()
+			d1 := startVitexd(t, bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-policy", policy)
+			cl := client.New("http://" + d1.addr)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+
+			sub, err := cl.Subscribe(ctx, "burst", "//trade[symbol='ACME']/price")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The live consumer collects until the crash severs it, then
+			// reports the resume token.
+			stream, err := cl.Results(ctx, "burst", sub.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type consumed struct {
+				results []server.Delivery
+				token   client.ResumeToken
+			}
+			consumerCh := make(chan consumed, 1)
+			go func() {
+				var got consumed
+				for {
+					d, err := stream.Next()
+					if err != nil {
+						var interrupted *client.ErrStreamInterrupted
+						if errors.As(err, &interrupted) {
+							got.token = interrupted.Token
+						}
+						stream.Close()
+						consumerCh <- got
+						return
+					}
+					if d.Type == server.DeliveryResult {
+						got.results = append(got.results, *d)
+					}
+				}
+			}()
+
+			// The burst: one synchronous publisher, so acknowledged DocSeq ==
+			// publish order with no holes. Killed mid-flight from outside.
+			var acked atomic.Int64
+			pubDone := make(chan struct{})
+			go func() {
+				defer close(pubDone)
+				for n := int64(1); n <= 200; n++ {
+					pub, err := cl.Publish(ctx, "burst", strings.NewReader(crashDoc(n)))
+					if err != nil {
+						return // the crash
+					}
+					if pub.DocSeq != n {
+						t.Errorf("publish %d acknowledged as DocSeq %d", n, pub.DocSeq)
+						return
+					}
+					acked.Store(n)
+				}
+			}()
+			for acked.Load() < 15 {
+				time.Sleep(time.Millisecond)
+			}
+			d1.kill()
+			<-pubDone
+			lastAcked := acked.Load()
+			preCrash := <-consumerCh
+
+			// Restart on the same directory and resume from the token.
+			d2 := startVitexd(t, bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-policy", policy)
+			cl2 := client.New("http://" + d2.addr)
+			token := preCrash.token
+			token.Channel, token.SubID = "burst", sub.ID // tokens survive re-dial
+			resumed, err := cl2.Resume(ctx, token)
+			if err != nil {
+				t.Fatalf("resume after restart: %v", err)
+			}
+			defer resumed.Close()
+
+			// A sentinel publish proves the cursor space continued and bounds
+			// the resumed stream.
+			sentinel, err := cl2.Publish(ctx, "burst", strings.NewReader(crashDoc(999)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sentinel.DocSeq <= lastAcked {
+				t.Fatalf("post-restart publish got DocSeq %d, not after last acknowledged %d", sentinel.DocSeq, lastAcked)
+			}
+			if sentinel.DocSeq > lastAcked+2 {
+				t.Fatalf("post-restart DocSeq %d skips cursors (last acked %d, at most one in-flight doc)", sentinel.DocSeq, lastAcked)
+			}
+
+			var postCrash []server.Delivery
+			for {
+				d, err := resumed.Next()
+				if err != nil {
+					t.Fatalf("resumed stream after %d deliveries: %v", len(postCrash), err)
+				}
+				if d.Type == server.DeliveryGap {
+					t.Fatalf("resumed stream gap: %+v", d)
+				}
+				if d.Type == server.DeliveryResult {
+					postCrash = append(postCrash, *d)
+					if d.DocSeq == sentinel.DocSeq {
+						break
+					}
+				}
+			}
+
+			// The spliced stream: exactly-once per acknowledged document,
+			// correct payloads, monotonic cursors.
+			spliced := append(append([]server.Delivery(nil), preCrash.results...), postCrash...)
+			seen := map[int64]int{}
+			var prev int64
+			for i, d := range spliced {
+				if d.DocSeq < prev {
+					t.Fatalf("cursor regressed at delivery %d: %d after %d", i, d.DocSeq, prev)
+				}
+				prev = d.DocSeq
+				seen[d.DocSeq]++
+				want := crashDoc(d.DocSeq)
+				if d.DocSeq == sentinel.DocSeq {
+					want = crashDoc(999)
+				}
+				wantValue := want[strings.Index(want, "<price>"):strings.Index(want, "</trade>")]
+				if d.Value != wantValue {
+					t.Fatalf("doc %d delivered %q, want %q (WAL payload mangled?)", d.DocSeq, d.Value, wantValue)
+				}
+			}
+			for n := int64(1); n <= lastAcked; n++ {
+				if seen[n] != 1 {
+					t.Fatalf("acknowledged doc %d delivered %d times, want exactly once (acked through %d)", n, seen[n], lastAcked)
+				}
+			}
+			for doc, count := range seen {
+				if count != 1 {
+					t.Fatalf("doc %d delivered %d times", doc, count)
+				}
+				if doc > lastAcked+1 && doc != sentinel.DocSeq {
+					t.Fatalf("doc %d delivered but only %d were acknowledged and one could be in flight", doc, lastAcked)
+				}
+			}
+			if got := len(preCrash.results); got == 0 {
+				t.Log("crash landed before any live delivery; splice was all replay (still valid)")
+			} else {
+				t.Logf("policy %s: %d live + %d replayed deliveries, %d acked docs, crash at ack %d",
+					policy, got, len(postCrash), lastAcked, lastAcked)
+			}
+		})
+	}
+}

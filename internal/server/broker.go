@@ -27,6 +27,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 )
@@ -48,6 +50,24 @@ type Config struct {
 	// 0/1 serial, N>1 shards machines over N goroutines, negative uses
 	// GOMAXPROCS.
 	Parallel int
+
+	// DataDir, when non-empty, makes the broker durable: every accepted
+	// publish is appended to a per-channel write-ahead log before it is
+	// acknowledged, channel definitions and standing subscriptions persist
+	// in per-channel manifests, and Open recovers all of it after a
+	// restart. Empty keeps the PR 4 behavior: everything in memory.
+	DataDir string
+	// WALSegmentBytes rotates a channel's active WAL segment once it
+	// exceeds this size (default 8 MiB).
+	WALSegmentBytes int64
+	// WALRetainSegments bounds how many sealed segments a channel keeps
+	// (default 8; minimum 2). Replays older than the oldest retained
+	// cursor receive a gap marker carrying the unavailable range.
+	WALRetainSegments int
+	// WALSync fsyncs after every append. Off by default: the WAL then
+	// survives process crashes (the records are in the page cache) but not
+	// host power loss.
+	WALSync bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -59,6 +79,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 256
+	}
+	if cfg.WALSegmentBytes <= 0 {
+		cfg.WALSegmentBytes = 8 << 20
+	}
+	if cfg.WALRetainSegments <= 0 {
+		cfg.WALRetainSegments = 8
 	}
 	return cfg
 }
@@ -85,7 +111,10 @@ type Broker struct {
 	draining sync.WaitGroup
 }
 
-// New builds a broker; channels are created on first use.
+// New builds a broker; channels are created on first use. For a durable
+// configuration (Config.DataDir set) use Open, which also recovers the
+// channels a previous process left behind — New on a durable config starts
+// serving without recovery and is almost never what a daemon wants.
 func New(cfg Config) *Broker {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -96,6 +125,61 @@ func New(cfg Config) *Broker {
 		evalCancel: cancel,
 		sem:        make(chan struct{}, cfg.Workers),
 	}
+}
+
+// Open builds a broker and, when cfg.DataDir is set, recovers every durable
+// channel from disk: the manifest rebuilds the channel's standing
+// subscriptions (same ids, compiled into a fresh live QuerySet) and the WAL
+// tail — rolled back past any torn or corrupt final record — restores the
+// document cursor, so publishes resume exactly where the previous process
+// stopped acknowledging. Recovery is all-or-nothing per boot: an unreadable
+// manifest fails Open rather than silently dropping a channel.
+func Open(cfg Config) (*Broker, error) {
+	b := New(cfg)
+	if b.cfg.DataDir == "" {
+		return b, nil
+	}
+	root := channelsDir(b.cfg.DataDir)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, manifestName)); os.IsNotExist(err) {
+			continue // not a channel directory (nothing durable was written)
+		}
+		m, err := loadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		c, err := recoverChannel(b, m)
+		if err != nil {
+			return nil, err
+		}
+		b.channels[m.Name] = c
+	}
+	return b, nil
+}
+
+// Recovered reports the channels restored from the data directory at Open,
+// with the cursor each resumed from.
+func (b *Broker) Recovered() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64)
+	for name, c := range b.channels {
+		if c.recoveredCursor > 0 {
+			out[name] = c.recoveredCursor
+		}
+	}
+	return out
 }
 
 // Config returns the broker's effective (defaulted) configuration.
@@ -211,6 +295,12 @@ func (b *Broker) DeleteChannel(name string) error {
 		defer b.draining.Done()
 		c.wg.Wait() // queued documents finish before streams end
 		c.closeRings()
+		// A deleted channel's durable state goes with it: the name becomes
+		// available for re-creation with a fresh cursor space.
+		if c.wal != nil {
+			c.wal.close()
+			os.RemoveAll(c.dir)
+		}
 	}()
 	return nil
 }
@@ -243,6 +333,12 @@ func (b *Broker) Metrics() *MetricsResponse {
 		m.Totals.DocsIn += cm.DocsIn
 		m.Totals.Results += cm.Results
 		m.Totals.Gaps += cm.Gaps
+		if cm.WAL != nil {
+			m.Totals.WALBytes += cm.WAL.Bytes
+			m.Totals.WALSegments += cm.WAL.Segments
+			m.Totals.ReplayDocs += cm.WAL.ReplayDocs
+			m.Totals.ReplayResults += cm.WAL.ReplayResults
+		}
 	}
 	m.Totals.Channels = len(chans)
 	m.Config.Workers = b.cfg.Workers
@@ -250,6 +346,7 @@ func (b *Broker) Metrics() *MetricsResponse {
 	m.Config.RingSize = b.cfg.RingSize
 	m.Config.Policy = b.cfg.Policy.String()
 	m.Config.Parallel = b.cfg.Parallel
+	m.Config.Durable = b.cfg.DataDir != ""
 	return m
 }
 
@@ -297,6 +394,9 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 	b.evalCancel()
 	for _, c := range chans {
 		c.closeRings()
+		if c.wal != nil {
+			c.wal.close()
+		}
 	}
 	return err
 }

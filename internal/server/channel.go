@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +24,9 @@ var (
 	ErrNoSubscription = errors.New("server: no such subscription")
 	// ErrNoChannel reports an unknown channel name.
 	ErrNoChannel = errors.New("server: no such channel")
+	// ErrNotDurable rejects a cursor-resume request against a broker that
+	// has no data directory (there is no log to replay from).
+	ErrNotDurable = errors.New("server: broker is not durable (no data directory); cursor resume unavailable")
 )
 
 // channel is one named feed: a live QuerySet holding the standing
@@ -39,6 +43,13 @@ type channel struct {
 	name string
 	b    *Broker
 
+	// dir and wal are the channel's durable state (nil/empty for a
+	// memory-only broker): every accepted publish is appended to the WAL —
+	// before it is acknowledged or evaluated — and the manifest in dir
+	// records the standing subscriptions. See wal.go and manifest.go.
+	dir string
+	wal *walLog
+
 	// mu guards the membership pair (QuerySet contents <-> subs indexing)
 	// and ingest admission. Mutations and the per-document view capture
 	// take it; evaluation itself runs outside it.
@@ -53,11 +64,18 @@ type channel struct {
 
 	wg sync.WaitGroup // drainLoop
 
-	docsIn     atomic.Int64
-	docsFailed atomic.Int64
-	bytesIn    atomic.Int64
-	delivered  atomic.Int64
-	gaps       atomic.Int64
+	// recoveredCursor is the WAL recovery point at boot (0 for a fresh
+	// channel): cursors at or below it were replayed from disk, not
+	// accepted by this process.
+	recoveredCursor int64 //vitex:plain set during recovery before the channel is published
+
+	docsIn        atomic.Int64
+	docsFailed    atomic.Int64
+	bytesIn       atomic.Int64
+	delivered     atomic.Int64
+	gaps          atomic.Int64
+	replayDocs    atomic.Int64
+	replayResults atomic.Int64
 }
 
 // subscription is one standing query of a channel plus its delivery ring.
@@ -87,6 +105,30 @@ type jobResult struct {
 }
 
 func newChannel(name string, b *Broker) (*channel, error) {
+	c, err := buildChannel(name, b)
+	if err != nil {
+		return nil, err
+	}
+	if c.wal != nil {
+		// A fresh durable channel starts with an empty manifest on disk, so
+		// a crash before the first subscription still recovers the channel
+		// (and its WAL'd documents).
+		if err := saveManifest(c.dir, &channelManifest{Name: name}); err != nil {
+			c.wal.close()
+			return nil, err
+		}
+	}
+	c.start()
+	return c, nil
+}
+
+// buildChannel constructs a channel and, for a durable broker, opens its WAL
+// (recovering the cursor from the log tail). It does not start the drain
+// loop — recovery adds subscriptions first. The channel is unpublished here,
+// so the guarded fields are safe to touch without c.mu.
+//
+//vitex:locked
+func buildChannel(name string, b *Broker) (*channel, error) {
 	qs, err := vitex.NewQuerySet()
 	if err != nil {
 		return nil, err
@@ -98,9 +140,73 @@ func newChannel(name string, b *Broker) (*channel, error) {
 		byID:  make(map[string]*subscription),
 		queue: make(chan *job, b.cfg.QueueDepth),
 	}
+	if b.cfg.DataDir != "" {
+		c.dir = filepath.Join(channelsDir(b.cfg.DataDir), chanDirName(name))
+		wal, err := openWAL(c.dir, b.cfg.WALSegmentBytes, b.cfg.WALRetainSegments, b.cfg.WALSync)
+		if err != nil {
+			return nil, fmt.Errorf("server: channel %q wal: %w", name, err)
+		}
+		c.wal = wal
+		c.nextDoc = wal.stats().last
+		c.recoveredCursor = c.nextDoc
+	}
+	return c, nil
+}
+
+// start launches the drain loop; the channel is live afterwards.
+func (c *channel) start() {
 	c.wg.Add(1)
 	go c.drainLoop()
+}
+
+// recoverChannel rebuilds a channel from its manifest: the WAL tail gives
+// the document cursor, the manifest gives the standing subscriptions, each
+// compiled back into the live QuerySet under its original id. The channel
+// is unpublished until Open links it, so c.mu is not needed.
+//
+//vitex:locked
+func recoverChannel(b *Broker, m *channelManifest) (*channel, error) {
+	c, err := buildChannel(m.Name, b)
+	if err != nil {
+		return nil, err
+	}
+	c.nextSub = m.NextSub
+	for _, ms := range m.Subscriptions {
+		q, err := vitex.Compile(ms.Query)
+		if err != nil {
+			c.wal.close()
+			return nil, fmt.Errorf("server: channel %q: recompiling %q: %w", m.Name, ms.Query, err)
+		}
+		if _, err := c.qs.Add(q); err != nil {
+			c.wal.close()
+			return nil, err
+		}
+		sub := &subscription{
+			id:    ms.ID,
+			query: ms.Query,
+			ch:    c,
+			ring:  newSubRing(b.cfg.RingSize, b.cfg.Policy, &c.gaps),
+		}
+		c.subs = append(c.subs, sub)
+		c.byID[sub.id] = sub
+	}
+	c.start()
 	return c, nil
+}
+
+// persistLocked rewrites the channel's manifest from the in-memory standing
+// state (c.mu held). A no-op for memory-only brokers.
+//
+//vitex:locked
+func (c *channel) persistLocked() error {
+	if c.wal == nil {
+		return nil
+	}
+	m := &channelManifest{Name: c.name, NextSub: c.nextSub}
+	for _, sub := range c.subs {
+		m.Subscriptions = append(m.Subscriptions, manifestSub{ID: sub.id, Query: sub.query})
+	}
+	return saveManifest(c.dir, m)
 }
 
 // subscribe compiles query and adds it to the live set. Compilation happens
@@ -130,6 +236,15 @@ func (c *channel) subscribe(query string) (*subscription, error) {
 	}
 	c.subs = append(c.subs, sub)
 	c.byID[sub.id] = sub
+	if err := c.persistLocked(); err != nil {
+		// Roll the membership back: a subscription that is not durable must
+		// not exist, or a restart would silently forget it.
+		c.qs.Remove(len(c.subs) - 1)
+		c.subs = c.subs[:len(c.subs)-1]
+		delete(c.byID, sub.id)
+		c.nextSub--
+		return nil, err
+	}
 	return sub, nil
 }
 
@@ -161,9 +276,14 @@ func (c *channel) unsubscribe(id string) error {
 	}
 	c.subs = append(c.subs[:idx], c.subs[idx+1:]...)
 	delete(c.byID, id)
+	// Persistence failure is not rolled back here: the in-memory removal
+	// already happened and re-adding would reorder the set. The stale
+	// manifest entry is rewritten by the next successful mutation; until
+	// then a restart resurrects an unconsumed subscription, which is safe.
+	perr := c.persistLocked()
 	c.mu.Unlock()
 	sub.ring.closeRing()
-	return nil
+	return perr
 }
 
 // replace swaps the subscription's query, keeping its id, ring and any
@@ -183,6 +303,9 @@ func (c *channel) replace(id, query string) (*subscription, error) {
 		return nil, err
 	}
 	sub.query = query
+	if err := c.persistLocked(); err != nil {
+		return nil, err
+	}
 	return sub, nil
 }
 
@@ -193,10 +316,15 @@ func (c *channel) subscriptionByID(id string) *subscription {
 }
 
 // publish admits a document into the bounded ingest queue, assigning its
-// arrival number. wait=true blocks until the evaluation completes (or the
-// caller's ctx dies — which also cancels the evaluation itself, the
-// publisher-disconnect path) and reports its outcome; wait=false returns as
-// soon as the document is queued.
+// arrival number (the channel's WAL cursor). On a durable broker the
+// document is appended to the write-ahead log BEFORE the publish is
+// acknowledged or the document queued for evaluation: an acknowledged
+// document is always a complete, checksummed WAL record, which is the
+// invariant the crash-recovery guarantee rests on. wait=true blocks until
+// the evaluation completes (or the caller's ctx dies — which also cancels
+// the evaluation itself, the publisher-disconnect path) and reports its
+// outcome; wait=false returns as soon as the document is durable and
+// queued.
 func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*PublishResponse, error) {
 	jctx, cancel := c.b.jobContext(ctx, wait)
 	j := &job{data: data, ctx: jctx}
@@ -209,16 +337,28 @@ func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*Publish
 		cancel()
 		return nil, ErrShutdown
 	}
-	c.nextDoc++
-	j.seq = c.nextDoc
-	select {
-	case c.queue <- j:
-	default:
-		c.nextDoc--
+	// Reserve queue room before assigning a cursor: publish is the only
+	// sender and every sender holds c.mu, so a free slot observed here
+	// cannot be taken by anyone else before the send below.
+	if len(c.queue) == cap(c.queue) {
 		c.mu.Unlock()
 		cancel()
 		return nil, ErrQueueFull
 	}
+	c.nextDoc++
+	j.seq = c.nextDoc
+	if c.wal != nil {
+		if err := c.wal.append(j.seq, data); err != nil {
+			// The record is not durable: reject the publish and give the
+			// cursor back (a torn partial write is truncated on the next
+			// recovery; the cursor was never acknowledged to anyone).
+			c.nextDoc--
+			c.mu.Unlock()
+			cancel()
+			return nil, err
+		}
+	}
+	c.queue <- j
 	c.mu.Unlock()
 	c.docsIn.Add(1)
 	c.bytesIn.Add(int64(len(data)))
@@ -347,7 +487,7 @@ func (c *channel) metrics() ChannelMetrics {
 	nsubs := len(c.subs)
 	queued := len(c.queue)
 	c.mu.Unlock()
-	return ChannelMetrics{
+	cm := ChannelMetrics{
 		Subscriptions: nsubs,
 		DocsIn:        c.docsIn.Load(),
 		DocsFailed:    c.docsFailed.Load(),
@@ -357,4 +497,17 @@ func (c *channel) metrics() ChannelMetrics {
 		Queued:        queued,
 		Engine:        c.qs.Metrics(),
 	}
+	if c.wal != nil {
+		ws := c.wal.stats()
+		cm.WAL = &WALMetrics{
+			Bytes:           ws.bytes,
+			Segments:        ws.segments,
+			FirstCursor:     ws.first,
+			LastCursor:      ws.last,
+			RecoveredCursor: c.recoveredCursor,
+			ReplayDocs:      c.replayDocs.Load(),
+			ReplayResults:   c.replayResults.Load(),
+		}
+	}
+	return cm
 }

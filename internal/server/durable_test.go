@@ -1,0 +1,519 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// openDurable runs a durable broker (recovered from dir) behind an httptest
+// server. Unlike startServer it uses server.Open, so calling it twice on the
+// same directory is a simulated restart.
+func openDurable(t *testing.T, dir string, cfg server.Config) (*client.Client, *server.Broker) {
+	t.Helper()
+	cfg.DataDir = dir
+	b, err := server.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	cl, shutdown := serveBroker(t, b)
+	t.Cleanup(shutdown)
+	return cl, b
+}
+
+// serveBroker exposes a broker over HTTP and returns an idempotent shutdown
+// for restarting mid-test.
+func serveBroker(t *testing.T, b *server.Broker) (*client.Client, func()) {
+	t.Helper()
+	ts := httptest.NewServer(server.Handler(b))
+	var once bool
+	return client.New(ts.URL), func() {
+		if once {
+			return
+		}
+		once = true
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+		ts.Close()
+	}
+}
+
+// drainResults reads the stream until n result deliveries arrived, returning
+// them in order (gap markers are collected separately).
+func drainResults(t *testing.T, stream *client.ResultStream, n int) (results, gaps []server.Delivery) {
+	t.Helper()
+	for len(results) < n {
+		d, err := stream.Next()
+		if err != nil {
+			t.Fatalf("after %d/%d results: %v", len(results), n, err)
+		}
+		switch d.Type {
+		case server.DeliveryResult:
+			results = append(results, *d)
+		case server.DeliveryGap:
+			gaps = append(gaps, *d)
+		case server.DeliveryEnd:
+			t.Fatalf("stream ended after %d/%d results", len(results), n)
+		}
+	}
+	return results, gaps
+}
+
+// TestDurableRecovery: a broker reopened on the same data directory carries
+// its channels forward — same subscription ids, document cursors continuing
+// where the previous process stopped, and the full retained history
+// replayable through a resume attach.
+func TestDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{}
+	cl, b := openDurable(t, dir, cfg)
+	ctx := context.Background()
+
+	sub, err := cl.Subscribe(ctx, "ticker", "//trade[symbol='ACME']/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pub, err := cl.Publish(ctx, "ticker", strings.NewReader(httpFeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pub.DocSeq != int64(i+1) {
+			t.Fatalf("publish %d got DocSeq %d", i, pub.DocSeq)
+		}
+	}
+	if got := b.Recovered(); len(got) != 0 {
+		t.Fatalf("fresh broker claims recovered channels: %v", got)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	b.Shutdown(sctx)
+	cancel()
+
+	// "Restart": a new broker on the same directory.
+	cl2, b2 := openDurable(t, dir, cfg)
+	if got := b2.Recovered(); len(got) != 1 || got["ticker"] != 3 {
+		t.Fatalf("Recovered() = %v, want ticker at cursor 3", got)
+	}
+
+	// The subscription survived under its original id: a full-history resume
+	// replays 2 ACME results per document.
+	stream, err := cl2.ResultsFrom(ctx, "ticker", sub.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	results, gaps := drainResults(t, stream, 6)
+	if len(gaps) != 0 {
+		t.Fatalf("unexpected gaps in full replay: %v", gaps)
+	}
+	for i, d := range results {
+		wantDoc := int64(i/2 + 1)
+		wantValue := "<price>10</price>"
+		wantSeq := int64(0)
+		if i%2 == 1 {
+			wantValue, wantSeq = "<price>30</price>", 2
+		}
+		if d.DocSeq != wantDoc || d.Value != wantValue || d.Seq != wantSeq {
+			t.Fatalf("replayed delivery %d = %+v, want doc %d value %q seq %d", i, d, wantDoc, wantValue, wantSeq)
+		}
+	}
+
+	// Cursors continue across the restart: the next publish is document 4,
+	// and its results flow live on the same resumed stream.
+	pub, err := cl2.Publish(ctx, "ticker", strings.NewReader(httpFeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.DocSeq != 4 {
+		t.Fatalf("post-restart publish DocSeq = %d, want 4", pub.DocSeq)
+	}
+	live, _ := drainResults(t, stream, 2)
+	if live[0].DocSeq != 4 || live[1].DocSeq != 4 {
+		t.Fatalf("live deliveries after replay = %+v, want doc 4", live)
+	}
+
+	// Durability shows up in /metrics.
+	m, err := cl2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Config.Durable {
+		t.Fatal("metrics does not report a durable broker")
+	}
+	cm := m.Channels["ticker"]
+	if cm.WAL == nil || cm.WAL.LastCursor != 4 || cm.WAL.RecoveredCursor != 3 {
+		t.Fatalf("WAL metrics = %+v, want last 4 recovered 3", cm.WAL)
+	}
+	if cm.WAL.ReplayDocs != 3 || cm.WAL.ReplayResults != 6 {
+		t.Fatalf("replay counters = %+v, want 3 docs / 6 results", cm.WAL)
+	}
+	if m.Totals.WALBytes == 0 || m.Totals.WALSegments == 0 {
+		t.Fatalf("totals missing WAL accounting: %+v", m.Totals)
+	}
+}
+
+// TestResumeMidDocument: a consumer severed mid-document resumes from its
+// token and receives exactly the deliveries it was missing — the spliced
+// stream equals the uninterrupted one.
+func TestResumeMidDocument(t *testing.T) {
+	dir := t.TempDir()
+	cl, _ := openDurable(t, dir, server.Config{})
+	ctx := context.Background()
+
+	sub, err := cl.Subscribe(ctx, "ticker", "//trade[symbol='ACME']/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := cl.Results(ctx, "ticker", sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Publish(ctx, "ticker", strings.NewReader(httpFeed)); err != nil {
+		t.Fatal(err)
+	}
+	// Take the first of document 1's two results, then sever.
+	first, _ := drainResults(t, stream, 1)
+	token := stream.Token()
+	stream.Close()
+	if token.Cursor != 1 || token.Seen != 1 {
+		t.Fatalf("token = %+v, want cursor 1 seen 1", token)
+	}
+
+	// The server releases the attach slot when it observes the severed
+	// connection — a moment after Close returns. Retry like a reconnecting
+	// client would.
+	var resumed *client.ResultStream
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resumed, err = cl.Resume(ctx, token); err == nil {
+			break
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != 409 || time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer resumed.Close()
+	rest, gaps := drainResults(t, resumed, 1)
+	if len(gaps) != 0 {
+		t.Fatalf("unexpected gaps: %v", gaps)
+	}
+	if first[0].Value != "<price>10</price>" || rest[0].Value != "<price>30</price>" {
+		t.Fatalf("spliced stream = %q then %q, want the two ACME prices in order",
+			first[0].Value, rest[0].Value)
+	}
+	if rest[0].Seq != 2 || rest[0].DocSeq != 1 {
+		t.Fatalf("resumed delivery = %+v, want doc 1 seq 2 (identical to live numbering)", rest[0])
+	}
+}
+
+// TestResumeNotDurable: a memory-only broker refuses resume attaches with a
+// structured 400, and a severed stream surfaces the typed interruption.
+func TestResumeNotDurable(t *testing.T) {
+	cl, _, _ := startServer(t, server.Config{})
+	ctx := context.Background()
+	sub, err := cl.Subscribe(ctx, "ticker", "//trade/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.ResultsFrom(ctx, "ticker", sub.ID, 1, 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("resume on memory broker: err = %v, want APIError 400", err)
+	}
+
+	// Sever a live stream without an end marker (shutdown closes the HTTP
+	// server under it): the client reports ErrStreamInterrupted with the
+	// position reached.
+	stream, err := cl.Results(ctx, "ticker", sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	if _, err := cl.Publish(ctx, "ticker", strings.NewReader(httpFeed)); err != nil {
+		t.Fatal(err)
+	}
+	drainResults(t, stream, 3)
+	stream.Close() // sever from the client side; Next must report interruption
+	for {
+		_, err := stream.Next()
+		if err == nil {
+			continue // buffered deliveries drain first
+		}
+		var interrupted *client.ErrStreamInterrupted
+		if !errors.As(err, &interrupted) {
+			t.Fatalf("severed stream err = %v, want ErrStreamInterrupted", err)
+		}
+		if interrupted.Token.Cursor != 1 || interrupted.Token.Seen != 3 {
+			t.Fatalf("interruption token = %+v, want cursor 1 seen 3", interrupted.Token)
+		}
+		break
+	}
+}
+
+// TestResumeRetentionGap: resuming from a cursor the log no longer retains
+// yields one gap marker naming the unavailable range, then the surviving
+// documents.
+func TestResumeRetentionGap(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments + minimum retention: publishing enough documents evicts
+	// the head of the log.
+	cl, b := openDurable(t, dir, server.Config{
+		WALSegmentBytes:   256,
+		WALRetainSegments: 2,
+	})
+	ctx := context.Background()
+	sub, err := cl.Subscribe(ctx, "ticker", "//trade[symbol='ACME']/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docs = 12
+	for i := 0; i < docs; i++ {
+		if _, err := cl.Publish(ctx, "ticker", strings.NewReader(httpFeed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := b.Metrics()
+	oldest := m.Channels["ticker"].WAL.FirstCursor
+	if oldest <= 1 {
+		t.Fatalf("retention did not advance the oldest cursor (first=%d); segment budget too large?", oldest)
+	}
+
+	stream, err := cl.ResultsFrom(ctx, "ticker", sub.ID, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	d, err := stream.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != server.DeliveryGap || d.Reason != server.GapRetention {
+		t.Fatalf("first delivery = %+v, want a retention gap", d)
+	}
+	if d.FromCursor != 1 || d.ToCursor != oldest-1 {
+		t.Fatalf("gap range [%d, %d], want [1, %d]", d.FromCursor, d.ToCursor, oldest-1)
+	}
+	// Everything still retained replays in full: 2 results per surviving doc.
+	want := int(docs-oldest+1) * 2
+	results, _ := drainResults(t, stream, want)
+	if results[0].DocSeq != oldest || results[len(results)-1].DocSeq != docs {
+		t.Fatalf("replayed docs [%d, %d], want [%d, %d]",
+			results[0].DocSeq, results[len(results)-1].DocSeq, oldest, docs)
+	}
+}
+
+// TestDurableSubscriptionChurn: subscription adds, replaces and removes all
+// persist — the manifest a restart recovers reflects the final state.
+func TestDurableSubscriptionChurn(t *testing.T) {
+	dir := t.TempDir()
+	cl, b := openDurable(t, dir, server.Config{})
+	ctx := context.Background()
+
+	keep, err := cl.Subscribe(ctx, "ticker", "//trade[symbol='ACME']/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone, err := cl.Subscribe(ctx, "ticker", "//trade/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Replace(ctx, "ticker", keep.ID, "//trade[symbol='WIDG']/price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unsubscribe(ctx, "ticker", gone.ID); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	b.Shutdown(sctx)
+	cancel()
+
+	cl2, _ := openDurable(t, dir, server.Config{})
+	// The kept subscription answers with its replaced query; the removed one
+	// is gone.
+	stream, err := cl2.Results(ctx, "ticker", keep.ID)
+	if err != nil {
+		t.Fatalf("recovered subscription did not survive: %v", err)
+	}
+	defer stream.Close()
+	if _, err := cl2.Results(ctx, "ticker", gone.ID); err == nil {
+		t.Fatal("unsubscribed subscription resurrected by recovery")
+	}
+	if _, err := cl2.Publish(ctx, "ticker", strings.NewReader(httpFeed)); err != nil {
+		t.Fatal(err)
+	}
+	results, _ := drainResults(t, stream, 1)
+	if results[0].Value != "<price>20</price>" {
+		t.Fatalf("recovered query delivered %q, want the replaced query's match", results[0].Value)
+	}
+}
+
+// TestDurableChannelDelete: deleting a channel removes its durable state — a
+// restart does not resurrect it, and re-creating the name starts a fresh
+// cursor space.
+func TestDurableChannelDelete(t *testing.T) {
+	dir := t.TempDir()
+	cl, b := openDurable(t, dir, server.Config{})
+	ctx := context.Background()
+	if _, err := cl.Subscribe(ctx, "tmp", "//trade/price"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Publish(ctx, "tmp", strings.NewReader(httpFeed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DeleteChannel(ctx, "tmp"); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	b.Shutdown(sctx)
+	cancel()
+
+	cl2, b2 := openDurable(t, dir, server.Config{})
+	if got := b2.Recovered(); len(got) != 0 {
+		t.Fatalf("deleted channel resurrected: %v", got)
+	}
+	pub, err := cl2.Publish(ctx, "tmp", strings.NewReader(httpFeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.DocSeq != 1 {
+		t.Fatalf("re-created channel starts at DocSeq %d, want 1", pub.DocSeq)
+	}
+}
+
+// TestDurableOddChannelNames: channel names with path metacharacters and
+// length extremes survive the round trip through directory naming.
+func TestDurableOddChannelNames(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{
+		"simple",
+		"with/slash and space",
+		"../../escape attempt",
+		strings.Repeat("long", 50),
+	}
+	cl, b := openDurable(t, dir, server.Config{})
+	ctx := context.Background()
+	for _, name := range names {
+		if _, err := cl.Subscribe(ctx, name, "//trade/price"); err != nil {
+			t.Fatalf("subscribe %q: %v", name, err)
+		}
+		if _, err := cl.Publish(ctx, name, strings.NewReader(httpFeed)); err != nil {
+			t.Fatalf("publish %q: %v", name, err)
+		}
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	b.Shutdown(sctx)
+	cancel()
+
+	_, b2 := openDurable(t, dir, server.Config{})
+	rec := b2.Recovered()
+	for _, name := range names {
+		if rec[name] != 1 {
+			t.Fatalf("channel %q recovered at cursor %d, want 1 (all: %v)", name, rec[name], rec)
+		}
+	}
+	if len(rec) != len(names) {
+		t.Fatalf("recovered %d channels, want %d: %v", len(rec), len(names), rec)
+	}
+}
+
+// TestDurablePublishFailedDoc: a document that fails evaluation still
+// occupies its cursor in the WAL; replaying over it reproduces the gap
+// marker instead of derailing the stream.
+func TestDurablePublishFailedDoc(t *testing.T) {
+	dir := t.TempDir()
+	cl, _ := openDurable(t, dir, server.Config{})
+	ctx := context.Background()
+	sub, err := cl.Subscribe(ctx, "ticker", "//trade[symbol='ACME']/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Publish(ctx, "ticker", strings.NewReader(httpFeed)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Publish(ctx, "ticker", strings.NewReader("<feed><trade><oops")); err == nil {
+		t.Fatal("malformed publish succeeded")
+	}
+	if _, err := cl.Publish(ctx, "ticker", strings.NewReader(httpFeed)); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := cl.ResultsFrom(ctx, "ticker", sub.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var results, gaps []server.Delivery
+	for len(results) < 4 {
+		d, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch d.Type {
+		case server.DeliveryResult:
+			results = append(results, *d)
+		case server.DeliveryGap:
+			gaps = append(gaps, *d)
+		}
+	}
+	if len(gaps) != 1 || gaps[0].DocSeq != 2 || !strings.Contains(gaps[0].Reason, "document aborted") {
+		t.Fatalf("replay gaps = %+v, want one aborted-document marker for doc 2", gaps)
+	}
+	for i, d := range results {
+		wantDoc := int64(1)
+		if i >= 2 {
+			wantDoc = 3
+		}
+		if d.DocSeq != wantDoc {
+			t.Fatalf("result %d on doc %d, want %d", i, d.DocSeq, wantDoc)
+		}
+	}
+}
+
+// TestDurableQueueFullNotLogged exercises the admission ordering: a publish
+// rejected for queue room must not consume a cursor, so the WAL never holds
+// a record for a rejected document. (Async publishes against a stalled
+// 1-deep queue force the rejection.)
+func TestDurableQueueFullNotLogged(t *testing.T) {
+	dir := t.TempDir()
+	cl, b := openDurable(t, dir, server.Config{QueueDepth: 1, RingSize: 1})
+	ctx := context.Background()
+	if _, err := cl.Subscribe(ctx, "ticker", "//trade/price"); err != nil {
+		t.Fatal(err)
+	}
+	// No attached consumer + block policy: the first doc's evaluation parks
+	// on the full ring, the second waits in the queue, further async
+	// publishes bounce with 429.
+	var accepted int64
+	var rejected int
+	for i := 0; i < 20; i++ {
+		pub, err := cl.PublishAsync(ctx, "ticker", strings.NewReader(httpFeed))
+		if err != nil {
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != 429 {
+				t.Fatalf("publish %d: %v, want 429", i, err)
+			}
+			rejected++
+			continue
+		}
+		if pub.DocSeq != accepted+1 {
+			t.Fatalf("accepted publish got DocSeq %d, want %d (cursors must not skip)", pub.DocSeq, accepted+1)
+		}
+		accepted++
+	}
+	if rejected == 0 {
+		t.Skip("queue never filled; timing did not produce rejections")
+	}
+	m := b.Metrics()
+	if got := m.Channels["ticker"].WAL.LastCursor; got != accepted {
+		t.Fatalf("WAL last cursor %d, want %d accepted publishes (rejected docs must not be logged)", got, accepted)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -66,6 +67,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrNotDurable):
+		status = http.StatusBadRequest
 	case errors.Is(err, ErrShutdown):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -154,17 +157,44 @@ func (b *Broker) handlePublish(w http.ResponseWriter, r *http.Request) {
 // subscription ends (unsubscribe or shutdown — the stream finishes with an
 // "end" line) or the client disconnects. Deliveries that are ready together
 // are flushed together.
+//
+// With `?from=C&seen=K` (durable brokers) the stream opens with a WAL
+// replay: documents C..tip re-evaluated through the live QuerySet, the
+// first K results of document C skipped, then a seamless handoff to live
+// deliveries — everything the replay covered is filtered out of the ring,
+// so the resumed stream carries no duplicate and misses nothing.
 func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 	sub, err := b.subscription(r.PathValue("ch"), r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	q := r.URL.Query()
+	resume := q.Has("from")
+	var from, seen int64
+	var plan replayPlan
+	if resume {
+		if from, err = cursorParam(q.Get("from")); err == nil && q.Has("seen") {
+			seen, err = cursorParam(q.Get("seen"))
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad resume token: " + err.Error()})
+			return
+		}
+	}
 	if !sub.attached.CompareAndSwap(false, true) {
 		writeJSON(w, http.StatusConflict, ErrorResponse{Error: "subscription already has an attached consumer"})
 		return
 	}
 	defer sub.attached.Store(false)
+	if resume {
+		// Plan after winning the attach race so no concurrent consumer can
+		// drain ring entries out from under the replay boundary.
+		if plan, err = sub.ch.replayPlan(sub); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
@@ -174,6 +204,34 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 	_ = rc.Flush() // commit headers so clients see the stream open
 
 	ctx := r.Context()
+	var skipTo int64 // ring deliveries wholly at or below this cursor were replayed
+	var held *Delivery
+	if resume {
+		held, err = sub.ch.replay(ctx, sub, plan, from, seen, func(d Delivery) error {
+			if encErr := enc.Encode(d); encErr != nil {
+				return encErr
+			}
+			return rc.Flush()
+		})
+		if err != nil {
+			return // consumer gone mid-replay; ring stays live for another try
+		}
+		skipTo = plan.tip
+	}
+	deliver := func(d Delivery) (ok bool) {
+		if d.DocSeq != 0 && deliveryEnd(d) <= skipTo {
+			return true // superseded by the replay
+		}
+		return enc.Encode(d) == nil
+	}
+	if held != nil {
+		if !deliver(*held) {
+			return
+		}
+		if flushErr := rc.Flush(); flushErr != nil {
+			return
+		}
+	}
 	for {
 		d, ok, err := sub.ring.next(ctx)
 		if err != nil {
@@ -184,7 +242,7 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 			_ = rc.Flush()
 			return
 		}
-		if encErr := enc.Encode(d); encErr != nil {
+		if !deliver(d) {
 			return
 		}
 		for {
@@ -192,7 +250,7 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 			if !okMore {
 				break
 			}
-			if encErr := enc.Encode(more); encErr != nil {
+			if !deliver(more) {
 				return
 			}
 		}
@@ -200,6 +258,18 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// cursorParam parses a non-negative cursor-valued query parameter.
+func cursorParam(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative cursor %d", v)
+	}
+	return v, nil
 }
 
 func (b *Broker) handleDeleteChannel(w http.ResponseWriter, r *http.Request) {

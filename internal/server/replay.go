@@ -1,0 +1,199 @@
+// Cursor replay: how a reconnecting or late-joining subscriber catches up.
+//
+// A resume token is (channel, cursor, seen): every document at a cursor
+// strictly below `cursor` was fully received, plus the first `seen` result
+// deliveries of document `cursor` itself (a stream can sever mid-document).
+// Replay re-reads the WAL from that position and re-evaluates each document
+// through the channel's live QuerySet — the same machines, the same
+// evaluation options, the same per-document Seq numbering as the original
+// delivery — filtered to the one resuming subscription. Replayed deliveries
+// are therefore byte-identical (Value/Seq/NodeOffset, in order) to what an
+// uninterrupted consumer received, which the replay-equivalence test pins.
+//
+// The handoff to the live ring is race-free by construction: the plan
+// captures, under the channel lock, the QuerySet view AND the WAL tip (the
+// last durable cursor). Every document ≤ tip is on disk (appended before
+// evaluation), so replay covers it; every ring delivery ≤ tip is skipped;
+// ring deliveries > tip are delivered live. No document can fall between
+// the two regimes, and none is delivered by both. During replay the ring is
+// bled opportunistically (entries ≤ tip discarded as they surface) so a
+// block-policy channel keeps flowing while a consumer catches up.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	vitex "repro"
+)
+
+// replayPlan pins one replay: the membership view and subscription index in
+// force when the consumer attached, the WAL tip it must read through, and
+// the oldest cursor still retained.
+type replayPlan struct {
+	view   vitex.QuerySetView
+	idx    int
+	tip    int64
+	oldest int64
+	wal    *walLog
+}
+
+// replayPlan captures the replay boundary for sub under the channel lock.
+func (c *channel) replayPlan(sub *subscription) (replayPlan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return replayPlan{}, ErrNotDurable
+	}
+	idx := c.indexOfLocked(sub)
+	if idx < 0 {
+		return replayPlan{}, ErrNoSubscription
+	}
+	return replayPlan{
+		view:   c.qs.View(),
+		idx:    idx,
+		tip:    c.nextDoc,
+		oldest: c.wal.oldest(),
+		wal:    c.wal,
+	}, nil
+}
+
+// replay streams the catch-up deliveries for sub: documents in
+// [from, plan.tip], skipping the first `seen` results of document `from`,
+// each emitted through emit in delivery order. Unreadable spans (retention,
+// corruption) become gap markers carrying the skipped cursor range. While
+// replaying it bleeds sub's ring of deliveries the replay supersedes
+// (DocSeq ≤ tip) and returns the first live delivery it had to hold back,
+// if any. emit errors (a gone consumer) abort the replay.
+func (c *channel) replay(ctx context.Context, sub *subscription, plan replayPlan, from, seen int64, emit func(Delivery) error) (held *Delivery, err error) {
+	if from < 1 {
+		from = 1
+		seen = 0
+	}
+	start := from
+	if plan.oldest > start {
+		// The tail the consumer wants is gone to retention: say exactly
+		// which cursors cannot be replayed, then serve what remains.
+		if plan.oldest > plan.tip {
+			return nil, nil
+		}
+		if err := emit(Delivery{
+			Type:       DeliveryGap,
+			DocSeq:     plan.oldest - 1,
+			FromCursor: start,
+			ToCursor:   plan.oldest - 1,
+			Reason:     GapRetention,
+		}); err != nil {
+			return nil, err
+		}
+		c.gaps.Add(1)
+		start = plan.oldest
+		seen = 0
+	}
+	if start > plan.tip {
+		return nil, nil
+	}
+
+	opts := vitex.Options{Parallel: c.b.cfg.Parallel, Context: ctx}
+	iterErr := plan.wal.iterate(start, plan.tip, func(cursor int64, payload []byte) error {
+		if sub.ring.isClosed() {
+			return errSubClosed
+		}
+		skip := int64(0)
+		if cursor == from {
+			skip = seen
+		}
+		var emitted int64
+		_, evalErr := plan.view.Stream(bytes.NewReader(payload), opts, func(sr vitex.SetResult) error {
+			if sr.QueryIndex != plan.idx {
+				return nil
+			}
+			if emitted++; emitted <= skip {
+				return nil
+			}
+			c.replayResults.Add(1)
+			if werr := emit(Delivery{
+				Type:        DeliveryResult,
+				DocSeq:      cursor,
+				Seq:         sr.Seq,
+				NodeOffset:  sr.NodeOffset,
+				Value:       sr.Value,
+				ConfirmedAt: sr.ConfirmedAt,
+				DeliveredAt: sr.DeliveredAt,
+			}); werr != nil {
+				return fmt.Errorf("%w: %v", errReplayEmit, werr)
+			}
+			return nil
+		})
+		c.replayDocs.Add(1)
+		if evalErr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(evalErr, errReplayEmit) {
+				return evalErr
+			}
+			// The document failed evaluation when it was published too (the
+			// WAL stores what was accepted, not what parsed); reproduce the
+			// live behavior — a gap marker in stream position.
+			c.gaps.Add(1)
+			return emit(Delivery{Type: DeliveryGap, DocSeq: cursor, Reason: "document aborted: " + evalErr.Error()})
+		}
+		// Bleed the ring between documents: everything ≤ tip is superseded
+		// by this replay; the first live delivery > tip is held for the
+		// caller. Keeps block-policy pushers moving while we catch up.
+		if held == nil {
+			for {
+				d, ok := sub.ring.tryNext()
+				if !ok {
+					break
+				}
+				if deliveryEnd(d) > plan.tip {
+					held = &d
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if iterErr != nil {
+		var ce *WALCorruptionError
+		switch {
+		case errors.As(iterErr, &ce):
+			// An unreadable span mid-log: the consumer learns exactly what
+			// it cannot have, then continues live. (Only external corruption
+			// or a retention race lands here; a torn tail was truncated at
+			// recovery.)
+			c.gaps.Add(1)
+			if err := emit(Delivery{
+				Type:       DeliveryGap,
+				DocSeq:     plan.tip,
+				FromCursor: start,
+				ToCursor:   plan.tip,
+				Reason:     GapUnreadable,
+			}); err != nil {
+				return held, err
+			}
+		case errors.Is(iterErr, errSubClosed):
+			return held, nil // ring closed: the live loop ends the stream
+		default:
+			return held, iterErr
+		}
+	}
+	return held, nil
+}
+
+// errReplayEmit wraps a consumer-side write failure so replay can tell it
+// apart from a document that failed evaluation.
+var errReplayEmit = errors.New("server: replay emit failed")
+
+// deliveryEnd is the last cursor a delivery speaks for: its DocSeq, or the
+// end of a gap marker's skipped range.
+func deliveryEnd(d Delivery) int64 {
+	if d.ToCursor > d.DocSeq {
+		return d.ToCursor
+	}
+	return d.DocSeq
+}

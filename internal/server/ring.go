@@ -68,12 +68,14 @@ type subRing struct {
 	policy   Policy //vitex:plain set at construction, read-only afterwards
 
 	closed atomic.Bool
-	// dropped/dropSeq accumulate a pending slow-consumer gap: results
-	// discarded since the last delivered marker, and the document of the
-	// most recent loss. Written by the pusher; drained by the consumer only
-	// after close.
-	dropped atomic.Int64
-	dropSeq atomic.Int64
+	// dropped/dropFrom/dropSeq accumulate a pending slow-consumer gap:
+	// results discarded since the last delivered marker, and the document
+	// cursor range [dropFrom, dropSeq] the losses span — the range a
+	// consumer needs to heal the gap by WAL replay. Written by the pusher;
+	// drained by the consumer only after close.
+	dropped  atomic.Int64
+	dropFrom atomic.Int64
+	dropSeq  atomic.Int64
 	// gaps counts gap markers actually delivered (channel-level metric).
 	gaps *atomic.Int64
 }
@@ -90,15 +92,29 @@ func newSubRing(size int, policy Policy, gaps *atomic.Int64) *subRing {
 	}
 }
 
-// pendingGap renders the accumulated slow-consumer losses as a marker.
+// pendingGap renders the accumulated slow-consumer losses as a marker
+// carrying the cursor range they span, so a consumer can resume from
+// FromCursor to heal the hole from the channel's WAL.
 func (r *subRing) pendingGap() Delivery {
 	return Delivery{
-		Type:    DeliveryGap,
-		DocSeq:  r.dropSeq.Load(),
-		Dropped: r.dropped.Load(),
-		Reason:  GapSlowConsumer,
+		Type:       DeliveryGap,
+		DocSeq:     r.dropSeq.Load(),
+		Dropped:    r.dropped.Load(),
+		FromCursor: r.dropFrom.Load(),
+		ToCursor:   r.dropSeq.Load(),
+		Reason:     GapSlowConsumer,
 	}
 }
+
+// clearPending resets the accumulated-loss accounting after a pending gap
+// marker made it into the buffer.
+func (r *subRing) clearPending() {
+	r.dropped.Store(0)
+	r.dropFrom.Store(0)
+}
+
+// isClosed reports whether the subscription ended (unsubscribe/shutdown).
+func (r *subRing) isClosed() bool { return r.closed.Load() }
 
 // place is the one point deliveries enter the buffer (non-blocking); it
 // keeps the gap metric honest.
@@ -126,7 +142,7 @@ func (r *subRing) push(ctx context.Context, d Delivery) (delivered bool, err err
 			return false, errSubClosed
 		}
 		if r.place(r.pendingGap()) {
-			r.dropped.Store(0)
+			r.clearPending()
 			break
 		}
 		if r.policy == PolicyDrop {
@@ -136,7 +152,7 @@ func (r *subRing) push(ctx context.Context, d Delivery) (delivered bool, err err
 		if err := r.send(ctx, r.pendingGap()); err != nil {
 			return false, err
 		}
-		r.dropped.Store(0)
+		r.clearPending()
 	}
 	if r.closed.Load() {
 		return false, errSubClosed
@@ -165,10 +181,11 @@ func (r *subRing) pushGap(ctx context.Context, d Delivery) {
 	}
 }
 
-// drop folds d into the pending gap.
+// drop folds d into the pending gap, widening its cursor range.
 func (r *subRing) drop(d Delivery) {
 	r.dropped.Add(1)
 	if d.DocSeq > 0 {
+		r.dropFrom.CompareAndSwap(0, d.DocSeq)
 		r.dropSeq.Store(d.DocSeq)
 	}
 }
@@ -223,7 +240,7 @@ func (r *subRing) next(ctx context.Context) (d Delivery, ok bool, err error) {
 		}
 		if r.dropped.Load() > 0 {
 			d = r.pendingGap()
-			r.dropped.Store(0)
+			r.clearPending()
 			if r.gaps != nil {
 				r.gaps.Add(1)
 			}

@@ -15,6 +15,17 @@
 //	DELETE /channels/{ch}                                           -> 204 (drain + remove)
 //	GET    /metrics                                                 -> MetricsResponse
 //	GET    /healthz                                                 -> 200 "ok"
+//
+// Resume (durable brokers): the results route accepts `?from=C&seen=K` — a
+// resume token. C is a document cursor (the per-channel DocSeq every
+// delivery carries), K counts result deliveries already received for
+// document C. The server replays documents C..tip from the channel's
+// write-ahead log through the live QuerySet — skipping the first K results
+// of document C — then hands off to the live stream with no duplicate and
+// no missing delivery at the boundary. `from=0` replays everything the log
+// retains (a late joiner's full catch-up). Cursors older than retention
+// are reported as one gap marker carrying the unavailable range
+// [FromCursor, ToCursor].
 package server
 
 import "repro/internal/engine"
@@ -38,6 +49,13 @@ const (
 // Gap reasons.
 const (
 	GapSlowConsumer = "slow consumer"
+	// GapRetention marks a replay request older than the oldest retained
+	// WAL cursor: documents in [FromCursor, ToCursor] can no longer be
+	// replayed.
+	GapRetention = "cursor beyond retention"
+	// GapUnreadable marks a replay span lost to log corruption or a
+	// retention race: documents in [FromCursor, ToCursor] may be missing.
+	GapUnreadable = "wal unreadable"
 )
 
 // Delivery is one NDJSON line of a subscription result stream.
@@ -57,6 +75,12 @@ type Delivery struct {
 	// Dropped counts the results coalesced into a gap marker (0 when the
 	// gap marks an aborted document rather than a slow consumer).
 	Dropped int64 `json:"dropped,omitempty"`
+	// FromCursor/ToCursor bound the document cursors a gap marker spans:
+	// results for documents in [FromCursor, ToCursor] may have been lost
+	// (slow-consumer drops) or be unavailable (retention, corruption). A
+	// consumer heals a drop gap by resuming with from=FromCursor&seen=0.
+	FromCursor int64 `json:"from_cursor,omitempty"`
+	ToCursor   int64 `json:"to_cursor,omitempty"`
 	// Reason explains a gap.
 	Reason string `json:"reason,omitempty"`
 }
@@ -108,9 +132,30 @@ type ChannelMetrics struct {
 	Gaps    int64 `json:"gaps"`
 	// Queued is the current depth of the channel's ingest queue.
 	Queued int `json:"queued"`
+	// WAL is the channel's durability accounting (nil on a memory-only
+	// broker).
+	WAL *WALMetrics `json:"wal,omitempty"`
 	// Engine is the channel's live-QuerySet churn accounting (compiles,
 	// epochs, compactions, slot occupancy).
 	Engine engine.Metrics `json:"engine"`
+}
+
+// WALMetrics is one channel's write-ahead-log slice of the /metrics answer.
+type WALMetrics struct {
+	// Bytes and Segments size the retained log on disk.
+	Bytes    int64 `json:"bytes"`
+	Segments int   `json:"segments"`
+	// FirstCursor/LastCursor bound the replayable cursor range (0/0 for an
+	// empty log).
+	FirstCursor int64 `json:"first_cursor"`
+	LastCursor  int64 `json:"last_cursor"`
+	// RecoveredCursor is the cursor the channel resumed from at boot (0
+	// for a channel created by this process).
+	RecoveredCursor int64 `json:"recovered_cursor,omitempty"`
+	// ReplayDocs/ReplayResults count documents re-evaluated and result
+	// deliveries re-sent for resuming or late-joining subscribers.
+	ReplayDocs    int64 `json:"replay_docs"`
+	ReplayResults int64 `json:"replay_results"`
 }
 
 // MetricsResponse is the /metrics answer: per-channel counters plus broker
@@ -118,10 +163,14 @@ type ChannelMetrics struct {
 type MetricsResponse struct {
 	Channels map[string]ChannelMetrics `json:"channels"`
 	Totals   struct {
-		Channels int   `json:"channels"`
-		DocsIn   int64 `json:"docs_in"`
-		Results  int64 `json:"results"`
-		Gaps     int64 `json:"gaps"`
+		Channels      int   `json:"channels"`
+		DocsIn        int64 `json:"docs_in"`
+		Results       int64 `json:"results"`
+		Gaps          int64 `json:"gaps"`
+		WALBytes      int64 `json:"wal_bytes"`
+		WALSegments   int   `json:"wal_segments"`
+		ReplayDocs    int64 `json:"replay_docs"`
+		ReplayResults int64 `json:"replay_results"`
 	} `json:"totals"`
 	Config struct {
 		Workers    int    `json:"workers"`
@@ -129,5 +178,6 @@ type MetricsResponse struct {
 		RingSize   int    `json:"ring_size"`
 		Policy     string `json:"policy"`
 		Parallel   int    `json:"parallel"`
+		Durable    bool   `json:"durable"`
 	} `json:"config"`
 }
