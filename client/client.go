@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -165,6 +166,46 @@ func (c *Client) DeleteChannel(ctx context.Context, channel string) error {
 func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
 	var out server.MetricsResponse
 	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the broker's counters in Prometheus text exposition
+// format (the same data as Metrics, plus full histogram buckets).
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics?format=prometheus", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// TracesResponse is the GET /debug/traces answer: the most recent finished
+// stage traces, newest first. Enabled is false when the server runs without
+// -trace-sample.
+type TracesResponse struct {
+	Enabled bool         `json:"enabled"`
+	Emitted int64        `json:"emitted"`
+	Traces  []obs.Record `json:"traces"`
+}
+
+// Traces fetches the server's buffered stage-trace records.
+func (c *Client) Traces(ctx context.Context) (*TracesResponse, error) {
+	var out TracesResponse
+	if err := c.do(ctx, http.MethodGet, "/debug/traces", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

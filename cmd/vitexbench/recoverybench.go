@@ -43,6 +43,8 @@ type RecoveryScaleRecord struct {
 type RecoveryBenchRecord struct {
 	Name       string                `json:"name"`
 	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
+	GoVersion  string                `json:"go_version,omitempty"`
 	DocBytes   int                   `json:"doc_bytes"`
 	Query      string                `json:"query"`
 	Scales     []RecoveryScaleRecord `json:"scales"`
@@ -61,6 +63,8 @@ func serverRecovery(dir string, out io.Writer) error {
 	rec := &RecoveryBenchRecord{
 		Name:       "server_recovery",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
 		DocBytes:   len(doc),
 		Query:      query,
 	}

@@ -38,6 +38,8 @@ type ServerScaleRecord struct {
 type ServerBenchRecord struct {
 	Name        string              `json:"name"`
 	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	NumCPU      int                 `json:"num_cpu"`
+	GoVersion   string              `json:"go_version,omitempty"`
 	CorpusBytes int                 `json:"corpus_bytes"`
 	Policy      string              `json:"policy"`
 	Scales      []ServerScaleRecord `json:"scales"`
@@ -53,6 +55,8 @@ func serverThroughput(dir string, trades int, out io.Writer) error {
 	rec := &ServerBenchRecord{
 		Name:        "server_throughput",
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
 		CorpusBytes: len(doc),
 		Policy:      server.PolicyBlock.String(),
 	}

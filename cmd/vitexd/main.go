@@ -10,6 +10,18 @@
 //	vitexd [-addr :8344] [-workers N] [-queue 64] [-ring 256]
 //	       [-policy block|drop] [-parallel 0] [-drain 15s]
 //	       [-data DIR] [-wal-segment-bytes 8388608] [-wal-retain 8] [-wal-sync]
+//	       [-trace-sample N] [-trace-ring 256] [-trace-file PATH]
+//	       [-debug-addr HOST:PORT]
+//
+// Observability (see docs/observability.md): -trace-sample N stage-traces
+// every Nth publish end to end (admission, WAL, queue wait, scan/dispatch,
+// ring enqueue, deliver wait, wire write); finished traces are served
+// newest-first by GET /debug/traces and, with -trace-file, appended as
+// NDJSON. GET /metrics answers JSON by default and Prometheus text format
+// under content negotiation (Accept: text/plain, or ?format=prometheus).
+// -debug-addr starts a second listener with net/http/pprof — CPU and heap
+// profiles plus runtime execution traces (/debug/pprof/trace?seconds=5) —
+// kept off the service port so profiling exposure is an explicit opt-in.
 //
 // With -data the broker is durable: every accepted publish is appended to a
 // per-channel write-ahead log before evaluation, channel definitions and
@@ -43,6 +55,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,12 +89,25 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	walSegBytes := fs.Int64("wal-segment-bytes", 8<<20, "write-ahead-log segment rotation size")
 	walRetain := fs.Int("wal-retain", 8, "write-ahead-log segments retained per channel (bounds replay history)")
 	walSync := fs.Bool("wal-sync", false, "fsync the write-ahead log after every publish")
+	traceSample := fs.Int("trace-sample", 0, "stage-trace every Nth publish (0 = tracing off)")
+	traceRing := fs.Int("trace-ring", 256, "finished stage-trace records kept for GET /debug/traces")
+	traceFile := fs.String("trace-file", "", "append finished stage traces to this file as NDJSON")
+	debugAddr := fs.String("debug-addr", "", "pprof/execution-trace listener (host:port; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	pol, err := server.ParsePolicy(*policy)
 	if err != nil {
 		return err
+	}
+	var traceSink io.Writer
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		defer f.Close()
+		traceSink = f
 	}
 
 	cfg := server.Config{
@@ -94,6 +120,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		WALSegmentBytes:   *walSegBytes,
 		WALRetainSegments: *walRetain,
 		WALSync:           *walSync,
+		TraceSample:       *traceSample,
+		TraceRing:         *traceRing,
+		TraceSink:         traceSink,
 	}
 	var b *server.Broker
 	if *dataDir != "" {
@@ -117,6 +146,28 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	}
 	fmt.Fprintf(stdout, "vitexd listening on %s (policy=%s workers=%d queue=%d ring=%d parallel=%d %s)\n",
 		ln.Addr(), pol, b.Config().Workers, *queue, *ring, *parallel, durability)
+	if *traceSample > 0 {
+		fmt.Fprintf(stdout, "vitexd tracing 1/%d publishes (ring %d)\n", *traceSample, *traceRing)
+	}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// Profiling stays off the service port: exposing pprof is an explicit
+		// opt-in, and a scrape-heavy profiler cannot contend with the API
+		// listener's accept queue.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go func() { _ = debugSrv.Serve(dln) }()
+		fmt.Fprintf(stdout, "vitexd debug listener on %s (pprof, execution trace)\n", dln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -145,6 +196,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	defer scancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	fmt.Fprintln(stdout, "vitexd stopped")
 	return nil

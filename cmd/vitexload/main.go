@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,19 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "registered %d subscriptions on %q\n", len(ids), *channelName)
 
+	// Client-observed publish-to-delivery latency: publishers record when
+	// each document's POST began (keyed by the DocSeq the response assigns),
+	// consumers stamp every result delivery on receipt, and the two sides
+	// join after the run — measuring the full wire path as a client sees it,
+	// independent of the server's own histograms.
+	var latMu sync.Mutex
+	sendAt := make(map[int64]time.Time)
+	type receipt struct {
+		seq int64
+		at  time.Time
+	}
+	var receipts []receipt
+
 	// One consumer per subscription, counting deliveries until its stream
 	// ends or the run context is canceled. An interrupted stream (server
 	// restart, dropped connection) resumes from the typed error's token —
@@ -105,6 +119,9 @@ func run(args []string, stdout io.Writer) error {
 				switch d.Type {
 				case server.DeliveryResult:
 					results.Add(1)
+					latMu.Lock()
+					receipts = append(receipts, receipt{seq: d.DocSeq, at: time.Now()})
+					latMu.Unlock()
 				case server.DeliveryGap:
 					gaps.Add(1)
 				case server.DeliveryEnd:
@@ -135,12 +152,16 @@ func run(args []string, stdout io.Writer) error {
 			defer pubs.Done()
 			for i := range next {
 				doc := datagen.Ticker{Trades: *trades, Seed: int64(i + 1)}.String()
+				sent := time.Now()
 				resp, err := cl.Publish(ctx, *channelName, strings.NewReader(doc))
 				if err != nil {
 					errOnce.Do(func() { firstErr = fmt.Errorf("publish doc %d: %w", i, err) })
 					cancel()
 					return
 				}
+				latMu.Lock()
+				sendAt[resp.DocSeq] = sent
+				latMu.Unlock()
 				published.Add(1)
 				matched.Add(resp.Results)
 			}
@@ -172,10 +193,43 @@ func run(args []string, stdout io.Writer) error {
 	docsPerSec := float64(published.Load()) / elapsed.Seconds()
 	fmt.Fprintf(stdout, "published %d docs (%d trades each) in %.2fs: %.1f docs/sec end-to-end\n",
 		published.Load(), *trades, elapsed.Seconds(), docsPerSec)
-	fmt.Fprintf(stdout, "matches: %d evaluated, %d delivered to consumers, %d gap markers, %d reconnects\n",
-		matched.Load(), results.Load(), gaps.Load(), reconnects.Load())
+	policy := "unknown"
+	if m, err := cl.Metrics(context.Background()); err == nil {
+		policy = m.Config.Policy
+	}
+	fmt.Fprintf(stdout, "matches: %d evaluated, %d delivered to consumers; policy=%s gaps=%d reconnects=%d\n",
+		matched.Load(), results.Load(), policy, gaps.Load(), reconnects.Load())
+	latMu.Lock()
+	lats := make([]time.Duration, 0, len(receipts))
+	for _, r := range receipts {
+		if sent, ok := sendAt[r.seq]; ok {
+			lats = append(lats, r.at.Sub(sent))
+		}
+	}
+	latMu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(stdout, "publish-to-delivery (client-observed, %d samples): p50=%s p95=%s p99=%s\n",
+			len(lats), quantile(lats, 0.50), quantile(lats, 0.95), quantile(lats, 0.99))
+	}
 	if published.Load() > 0 && matched.Load() == 0 {
 		return fmt.Errorf("no matches produced; the matching subscriptions should have fired")
 	}
 	return nil
+}
+
+// quantile reads the q-th quantile of a sorted latency sample (upper value
+// at the ceil(q*n) rank, matching the server histograms' estimator bias).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

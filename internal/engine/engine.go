@@ -58,7 +58,9 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sax"
 	"repro/internal/twigm"
 	"repro/internal/xmlscan"
@@ -98,7 +100,34 @@ type Engine struct {
 	events     atomic.Int64
 	deliveries atomic.Int64
 	triePushes atomic.Int64
+
+	// evalHist records each serial stream's evaluation cost as ns/event:
+	// two clock reads per document, so it is always on.
+	evalHist obs.Histogram
+
+	// Hot-path attribution sampling (EnableHotStats): every hotEvery-th
+	// serial stream runs the timed route variant, which splits the
+	// stream's wall clock into scan, shared-trie and machine-delivery
+	// nanoseconds. Accumulators are cumulative; see Metrics.Hot.
+	hotEvery     atomic.Int64
+	hotTick      atomic.Int64
+	hotStreams   atomic.Int64
+	hotEvents    atomic.Int64
+	hotScanNs    atomic.Int64
+	hotTrieNs    atomic.Int64
+	hotMachineNs atomic.Int64
 }
+
+// EnableHotStats makes every every-th serial Stream run with timed routing,
+// attributing its wall clock across scan, shared-trie and machine stages
+// (Metrics.Hot). every <= 0 disables sampling (the default); 1 times every
+// stream. Timed streams pay two clock reads per event, so sample sparsely
+// on hot services. Parallel evaluation is never timed.
+func (e *Engine) EnableHotStats(every int) { e.hotEvery.Store(int64(every)) }
+
+// EvalHistogram returns the distribution of per-stream evaluation cost in
+// nanoseconds per scan event, cumulative over the engine's lifetime.
+func (e *Engine) EvalHistogram() obs.Snapshot { return e.evalHist.Snapshot() }
 
 // Config tunes engine construction.
 type Config struct {
@@ -231,6 +260,9 @@ func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser b
 	ses.sync(ep)
 	ses.reset(opts)
 	ses.ctx, ses.done = ctx, ctx.Done()
+	if every := e.hotEvery.Load(); every > 0 && e.hotTick.Add(1)%every == 0 {
+		ses.rt.timed = true
+	}
 
 	var drv sax.Driver
 	if useStdParser {
@@ -239,7 +271,9 @@ func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser b
 		ses.scan.Reset(r)
 		drv = ses.scan
 	}
+	start := time.Now()
 	err := drv.Run(ses)
+	durNs := time.Since(start).Nanoseconds()
 	if err == nil && ses.done != nil {
 		// A cancellation racing the final events (e.g. an Emit callback
 		// canceling on the document's last result) still reports ctx.Err(),
@@ -250,6 +284,23 @@ func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser b
 	e.events.Add(ses.events)
 	e.deliveries.Add(ses.rt.deliveries)
 	e.triePushes.Add(ses.rt.prun.Pushes())
+	if ses.events > 0 {
+		e.evalHist.ObserveNs(durNs / ses.events)
+	}
+	if ses.rt.timed {
+		ses.rt.timed = false
+		e.hotStreams.Add(1)
+		e.hotEvents.Add(ses.events)
+		e.hotTrieNs.Add(ses.rt.trieNs)
+		e.hotMachineNs.Add(ses.rt.machineNs)
+		// Scan is the remainder: everything the stream spent outside
+		// trie pushes and machine deliveries (parsing, routing-table
+		// lookups). Clamp against clock skew on near-empty documents.
+		if scan := durNs - ses.rt.trieNs - ses.rt.machineNs; scan > 0 {
+			e.hotScanNs.Add(scan)
+		}
+		ses.rt.trieNs, ses.rt.machineNs = 0, 0
+	}
 	stats := make([]twigm.Stats, len(ep.live))
 	for d, slot := range ep.live {
 		st := ses.runs[slot].Stats()
@@ -468,6 +519,14 @@ type router struct {
 
 	// deliveries counts machine wake-ups this stream (dispatch metrics).
 	deliveries int64
+
+	// Hot-stats sampling (Engine.EnableHotStats): timed selects the timed
+	// route variant for this stream; trieNs/machineNs accumulate the
+	// stream's shared-trie and machine-delivery nanoseconds, drained by
+	// StreamContext after the run.
+	timed     bool  //vitex:keep set per stream by StreamContext, cleared by it after the run
+	trieNs    int64 //vitex:keep drained and zeroed by StreamContext after a timed run
+	machineNs int64 //vitex:keep drained and zeroed by StreamContext after a timed run
 }
 
 // init wires the router over runs (indexed by global machine id) with the
@@ -552,6 +611,9 @@ func (rt *router) deliver(i int32, ev *sax.Event, idx int64) error {
 //
 //vitex:hotpath
 func (rt *router) route(ev *sax.Event, idx int64) error {
+	if rt.timed {
+		return rt.routeTimed(ev, idx)
+	}
 	switch ev.Kind {
 	case sax.StartElement:
 		rt.prun.StartElement(ev)
@@ -584,6 +646,52 @@ func (rt *router) route(ev *sax.Event, idx int64) error {
 		}
 	}
 	return nil
+}
+
+// routeTimed is route with per-stage clock reads: shared-trie pushes/pops
+// and machine-delivery loops are bracketed by time.Now pairs whose deltas
+// accumulate into trieNs/machineNs; everything else in the stream's wall
+// clock is attributed to the scan by StreamContext. Dispatch order and
+// semantics are identical to route — only clock reads are added — so a
+// timed stream delivers byte-identical results.
+//
+//vitex:hotpath
+func (rt *router) routeTimed(ev *sax.Event, idx int64) error {
+	switch ev.Kind {
+	case sax.StartElement:
+		t0 := time.Now()
+		rt.prun.StartElement(ev)
+		rt.trieNs += time.Since(t0).Nanoseconds()
+		return rt.deliverAllTimed(rt.startSubscribers(ev), ev, idx)
+	case sax.EndElement:
+		if err := rt.deliverAllTimed(rt.snapshot(&rt.endSet), ev, idx); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		rt.prun.EndElement(ev.Depth)
+		rt.trieNs += time.Since(t0).Nanoseconds()
+	case sax.Text:
+		return rt.deliverAllTimed(rt.snapshot(&rt.textSet), ev, idx)
+	default:
+		return rt.deliverAllTimed(rt.machines, ev, idx)
+	}
+	return nil
+}
+
+// deliverAllTimed delivers the event to every listed machine with the loop
+// bracketed by one clock pair, accumulating into machineNs.
+//
+//vitex:hotpath
+func (rt *router) deliverAllTimed(list []int32, ev *sax.Event, idx int64) error {
+	t0 := time.Now()
+	var err error
+	for _, i := range list {
+		if err = rt.deliver(i, ev, idx); err != nil {
+			break
+		}
+	}
+	rt.machineNs += time.Since(t0).Nanoseconds()
+	return err
 }
 
 // startSubscribers collects, deduplicates and orders the routed machines

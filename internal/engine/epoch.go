@@ -32,6 +32,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/twigm"
 	"repro/internal/xpath"
 )
@@ -406,6 +407,27 @@ type Metrics struct {
 	Events     int64
 	Deliveries int64
 	TriePushes int64
+
+	// Eval summarizes the per-stream evaluation-cost histogram
+	// (nanoseconds per scan event, serial streams only): always on, two
+	// clock reads per document. Full bucket data via EvalHistogram.
+	Eval obs.Stats
+
+	// Hot is the sampled hot-path attribution (EnableHotStats); all
+	// zeros unless sampling is on.
+	Hot HotStats
+}
+
+// HotStats attributes sampled streams' wall clock across the three serial
+// hot-path stages: scan (parsing + routing lookups), the shared prefix
+// trie, and residual-machine deliveries. Cumulative over the timed streams
+// only; divide by Events for per-event cost.
+type HotStats struct {
+	Streams   int64
+	Events    int64
+	ScanNs    int64
+	TrieNs    int64
+	MachineNs int64
 }
 
 // Metrics returns the engine's churn and dispatch accounting.
@@ -434,5 +456,13 @@ func (e *Engine) Metrics() Metrics {
 		Events:           e.events.Load(),
 		Deliveries:       e.deliveries.Load(),
 		TriePushes:       e.triePushes.Load(),
+		Eval:             e.evalHist.Snapshot().Stats(),
+		Hot: HotStats{
+			Streams:   e.hotStreams.Load(),
+			Events:    e.hotEvents.Load(),
+			ScanNs:    e.hotScanNs.Load(),
+			TrieNs:    e.hotTrieNs.Load(),
+			MachineNs: e.hotMachineNs.Load(),
+		},
 	}
 }

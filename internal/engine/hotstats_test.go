@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/twigm"
+)
+
+// TestEvalHistogramAlwaysOn: every serial stream with events lands one
+// observation (its ns-per-event) in the evaluation histogram, with no
+// opt-in required.
+func TestEvalHistogramAlwaysOn(t *testing.T) {
+	e := mustEngine(t, metricsSources[0], metricsSources[3])
+	const streams = 5
+	for i := 0; i < streams; i++ {
+		if _, err := e.Stream(strings.NewReader(metricsDoc), false, make([]twigm.Options, e.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.EvalHistogram()
+	if s.Count != streams {
+		t.Fatalf("eval histogram count = %d, want %d", s.Count, streams)
+	}
+	if s.SumNs <= 0 {
+		t.Fatalf("eval histogram sum = %d", s.SumNs)
+	}
+	m := e.Metrics()
+	if m.Eval.Count != streams || m.Eval.P50Ns <= 0 {
+		t.Fatalf("Metrics.Eval = %+v", m.Eval)
+	}
+}
+
+// TestHotStatsAttribution: with sampling enabled, timed streams split their
+// wall clock across scan, trie and machine shares; with sampling off, the
+// counters stay still and results are unaffected either way.
+func TestHotStatsAttribution(t *testing.T) {
+	e := mustEngine(t, metricsSources...)
+	baseline := collect(t, e, metricsDoc, true)
+
+	m0 := e.Metrics()
+	if m0.Hot.Streams != 0 {
+		t.Fatalf("hot stats moved before enabling: %+v", m0.Hot)
+	}
+
+	e.EnableHotStats(2) // every 2nd stream is timed
+	const streams = 10
+	for i := 0; i < streams; i++ {
+		got := collect(t, e, metricsDoc, true)
+		for q := range baseline {
+			if strings.Join(got[q], "|") != strings.Join(baseline[q], "|") {
+				t.Fatalf("stream %d query %d results changed under hot-stats sampling:\n%v\nvs\n%v", i, q, got[q], baseline[q])
+			}
+		}
+	}
+	m1 := e.Metrics()
+	if m1.Hot.Streams != streams/2 {
+		t.Fatalf("timed %d streams, want %d: %+v", m1.Hot.Streams, streams/2, m1.Hot)
+	}
+	if m1.Hot.Events <= 0 {
+		t.Fatalf("timed streams recorded no events: %+v", m1.Hot)
+	}
+	// The three shares partition the sampled wall clock: each non-negative,
+	// trie+machine strictly positive on a delivering workload, and scan
+	// (the residual) positive because parsing always costs something.
+	if m1.Hot.ScanNs <= 0 || m1.Hot.TrieNs < 0 || m1.Hot.MachineNs <= 0 {
+		t.Fatalf("hot attribution shares = %+v", m1.Hot)
+	}
+
+	e.EnableHotStats(0)
+	for i := 0; i < 4; i++ {
+		collect(t, e, metricsDoc, true)
+	}
+	m2 := e.Metrics()
+	if m2.Hot.Streams != m1.Hot.Streams || m2.Hot.Events != m1.Hot.Events {
+		t.Fatalf("hot stats moved while disabled: %+v vs %+v", m2.Hot, m1.Hot)
+	}
+}

@@ -1,0 +1,150 @@
+// Package obs holds the observability primitives of the reproduction:
+// lock-free latency histograms and sampled per-document stage traces. Both
+// are stdlib-only and built for hot paths — recording into a histogram is
+// three atomic adds, and a disabled trace is a nil pointer whose methods
+// no-op, so the instrumented code pays nothing when observation is off.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log2-spaced histogram buckets. Bucket i
+// counts observations v (in nanoseconds) with bits.Len64(v) == i, i.e.
+// v in [2^(i-1), 2^i); bucket 0 takes non-positive observations. The last
+// bucket is a catch-all for anything at or above 2^(NumBuckets-2) ns
+// (~9.3 hours) — far beyond any latency this system produces.
+const NumBuckets = 46
+
+// bucketOf maps a nanosecond observation to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperNs returns the exclusive upper bound of bucket i in
+// nanoseconds (math.MaxInt64 for the catch-all last bucket). Bounds are
+// exact powers of two: 1ns, 2ns, 4ns, ... — the layout trades ~2x relative
+// quantile error for a recording cost of one bits.Len64 and three atomic
+// adds, with no configuration to get wrong.
+func BucketUpperNs(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Histogram is a lock-free log2-bucketed latency histogram. The zero value
+// is ready to use. Concurrent Observe calls never contend on a lock; a
+// Snapshot taken under concurrent recording is internally consistent per
+// counter (each is an atomic) but not across counters — sum and count may
+// disagree by in-flight observations, which is fine for monitoring.
+//
+//vitex:counters
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+//
+//vitex:hotpath
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(d.Nanoseconds()) }
+
+// ObserveNs records one observation of ns nanoseconds.
+//
+//vitex:hotpath
+func (h *Histogram) ObserveNs(ns int64) {
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// Snapshot copies the histogram's counters into a plain value.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram, safe to aggregate and
+// summarize without further synchronization.
+type Snapshot struct {
+	Count   int64
+	SumNs   int64
+	Buckets [NumBuckets]int64
+}
+
+// Merge adds o's observations into s (for per-channel -> global rollups).
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns a conservative (upper-bound) estimate of the q-quantile
+// in nanoseconds: the upper bound of the first bucket at which the
+// cumulative count reaches q*Count. Returns 0 for an empty snapshot.
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return BucketUpperNs(i)
+		}
+	}
+	return BucketUpperNs(NumBuckets - 1)
+}
+
+// Stats condenses the snapshot into the wire summary.
+func (s Snapshot) Stats() Stats {
+	return Stats{
+		Count: s.Count,
+		SumNs: s.SumNs,
+		P50Ns: s.Quantile(0.50),
+		P95Ns: s.Quantile(0.95),
+		P99Ns: s.Quantile(0.99),
+	}
+}
+
+// Stats is the compact, JSON-round-trippable summary of a histogram that
+// metrics responses embed: total observations, their sum, and upper-bound
+// quantile estimates (see Snapshot.Quantile for the estimator).
+type Stats struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}

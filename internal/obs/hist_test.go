@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket layout: bucket i holds ns in
+// [2^(i-1), 2^i), with 0 and negatives in bucket 0 and a catch-all tail.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},         // [1,2)
+		{2, 2}, {3, 2}, // [2,4)
+		{4, 3}, {7, 3}, // [4,8)
+		{1023, 10}, {1024, 11}, // 2^10 boundary
+		{int64(1) << 44, NumBuckets - 1},
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every non-tail observation must fall strictly below its bucket's
+	// upper bound and at or above the previous bucket's.
+	for _, ns := range []int64{1, 2, 3, 100, 999, 4096, 1e9} {
+		b := bucketOf(ns)
+		if ns >= BucketUpperNs(b) {
+			t.Errorf("ns %d >= upper bound %d of its bucket %d", ns, BucketUpperNs(b), b)
+		}
+		if b > 0 && ns < BucketUpperNs(b-1) {
+			t.Errorf("ns %d < upper bound %d of bucket %d", ns, BucketUpperNs(b-1), b-1)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations and 10 slow ones: p50 must be in the fast
+	// bucket's range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket of 100ns: upper bound 128
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := int64(90*100 + 10*1e6); s.SumNs != want {
+		t.Fatalf("sum = %d, want %d", s.SumNs, want)
+	}
+	if got := s.Quantile(0.50); got != 128 {
+		t.Errorf("p50 = %d, want 128 (upper bound of the 100ns bucket)", got)
+	}
+	if got := s.Quantile(0.99); got < int64(time.Millisecond) || got > int64(2*time.Millisecond) {
+		t.Errorf("p99 = %d, want within [1ms, 2ms]", got)
+	}
+	if got := s.Quantile(0); got != 128 {
+		t.Errorf("q0 = %d, want first non-empty bucket bound 128", got)
+	}
+	var empty Snapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.ObserveNs(10)
+	a.ObserveNs(1000)
+	b.ObserveNs(10)
+	b.ObserveNs(1 << 30)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", s.Count)
+	}
+	if want := int64(10 + 1000 + 10 + 1<<30); s.SumNs != want {
+		t.Fatalf("merged sum = %d, want %d", s.SumNs, want)
+	}
+	if got := s.Buckets[bucketOf(10)]; got != 2 {
+		t.Fatalf("merged 10ns bucket = %d, want 2", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// snapshots are taken, asserting the final totals are exact (run under
+// -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var bucketSum int64
+				for _, c := range s.Buckets {
+					bucketSum += c
+				}
+				// count is read before the buckets, so observations
+				// completing mid-snapshot only push the bucket sum above
+				// it; the sum can trail count only by in-flight recorders
+				// that bumped count but not their bucket yet.
+				if bucketSum < s.Count-workers {
+					t.Errorf("snapshot skew: bucket sum %d vs count %d", bucketSum, s.Count)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.ObserveNs(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	if want := int64(workers * perWorker); s.Count != want {
+		t.Fatalf("final count = %d, want %d", s.Count, want)
+	}
+	var bucketSum int64
+	for _, c := range s.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("final bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.ObserveNs(int64(i))
+	}
+	st := h.Snapshot().Stats()
+	if st.Count != 1000 || st.SumNs != 999*1000/2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50Ns > st.P95Ns || st.P95Ns > st.P99Ns {
+		t.Fatalf("quantiles not monotone: %+v", st)
+	}
+}

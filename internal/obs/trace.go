@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one segment of a published document's journey through
+// the broker. Stages are recorded as nanosecond durations on a Trace; see
+// docs/observability.md for exactly where each stage starts and ends.
+type Stage uint8
+
+const (
+	// StageAdmission: publish handler entry to ingest-queue send,
+	// excluding WAL time (admission checks, sequence allocation).
+	StageAdmission Stage = iota
+	// StageWALAppend: WAL record encode+write, excluding the fsync.
+	StageWALAppend
+	// StageWALFsync: the durable-mode fsync inside the WAL append.
+	StageWALFsync
+	// StageQueueWait: ingest-queue send to evaluation start (queue depth
+	// plus worker-semaphore wait).
+	StageQueueWait
+	// StageScanDispatch: engine evaluation (scan + trie + machine
+	// dispatch), excluding time spent inside ring pushes.
+	StageScanDispatch
+	// StageRingEnqueue: time spent pushing deliveries into subscription
+	// rings (includes blocking on a full ring under the block policy).
+	StageRingEnqueue
+	// StageDeliverWait: ring enqueue to wire-writer dequeue, per traced
+	// delivery. Overlaps StageScanDispatch when a consumer drains
+	// mid-evaluation; on the critical path (last delivery of the
+	// document) it is the consumer wake-up latency.
+	StageDeliverWait
+	// StageWireWrite: NDJSON encode plus flush to the subscriber's
+	// connection.
+	StageWireWrite
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"admission",
+	"wal_append",
+	"wal_fsync",
+	"queue_wait",
+	"scan_dispatch",
+	"ring_enqueue",
+	"deliver_wait",
+	"wire_write",
+}
+
+// String returns the stage's snake_case wire name.
+func (s Stage) String() string {
+	if s < numStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Trace accumulates the per-stage timing of one sampled document. A nil
+// *Trace is the disabled state: every method no-ops, so instrumented code
+// calls them unconditionally and pays only a nil check when sampling is
+// off. Stage adds are atomic — the publisher goroutine, the evaluation
+// worker and any number of wire writers record concurrently.
+//
+// Lifecycle: Tracer.Sample hands out a trace holding one reference for the
+// publish path. Each delivery carried into a subscription ring takes
+// another (Ref); whoever retires a delivery — wire write, drop, replay
+// skip — releases it (Unref). The release that drops the count to zero
+// emits the finished record to the tracer and recycles the trace, so the
+// NDJSON line appears only once the last traced byte hit a connection.
+//
+//vitex:pooled
+type Trace struct {
+	tracer  *Tracer
+	channel string
+	docSeq  int64
+	start   time.Time
+
+	stages        [numStages]atomic.Int64
+	endNs         atomic.Int64
+	events        atomic.Int64
+	machinesWoken atomic.Int64
+	deliveries    atomic.Int64
+	refs          atomic.Int64
+}
+
+// Reset clears the trace for reuse. Atomic fields are plain-stored: the
+// pool hand-off happens-before the next Sample.
+func (t *Trace) Reset() { *t = Trace{} }
+
+// SetDocSeq fills in the document number once it is assigned (publishers
+// sample before taking the admission lock, where the sequence is unknown).
+func (t *Trace) SetDocSeq(seq int64) {
+	if t == nil {
+		return
+	}
+	t.docSeq = seq
+}
+
+// Cancel discards the trace without emitting a record — the traced publish
+// was rejected (queue full, WAL failure, shutdown). Callers must not touch
+// t afterwards.
+func (t *Trace) Cancel() {
+	if t == nil {
+		return
+	}
+	tr := t.tracer
+	t.Reset()
+	tr.pool.Put(t)
+}
+
+// AddStage adds d to the stage's accumulated duration.
+func (t *Trace) AddStage(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.stages[s].Add(d.Nanoseconds())
+}
+
+// SinceStartNs returns the monotonic offset from the trace's start, for
+// correlating timestamps taken on different goroutines. 0 on a nil trace.
+func (t *Trace) SinceStartNs() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Nanoseconds()
+}
+
+// MarkEnd advances the trace's end watermark to now; the final record's
+// total_ns is admission start to the latest MarkEnd (normally the last
+// delivery's wire flush).
+func (t *Trace) MarkEnd() {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.start).Nanoseconds()
+	for {
+		cur := t.endNs.Load()
+		if now <= cur || t.endNs.CompareAndSwap(cur, now) {
+			return
+		}
+	}
+}
+
+// AddEvents records scan events attributed to this document.
+func (t *Trace) AddEvents(n int64) {
+	if t == nil {
+		return
+	}
+	t.events.Add(n)
+}
+
+// AddMachinesWoken records machine deliveries (engine wake-ups).
+func (t *Trace) AddMachinesWoken(n int64) {
+	if t == nil {
+		return
+	}
+	t.machinesWoken.Add(n)
+}
+
+// AddDeliveries records results fanned out to subscription rings.
+func (t *Trace) AddDeliveries(n int64) {
+	if t == nil {
+		return
+	}
+	t.deliveries.Add(n)
+}
+
+// Ref takes an additional reference (one per in-flight traced delivery).
+func (t *Trace) Ref() {
+	if t == nil {
+		return
+	}
+	t.refs.Add(1)
+}
+
+// Unref releases a reference; the release that reaches zero emits the
+// record and recycles the trace. Callers must not touch t afterwards.
+func (t *Trace) Unref() {
+	if t == nil {
+		return
+	}
+	if t.refs.Add(-1) == 0 {
+		t.tracer.emit(t)
+	}
+}
+
+// Record is one finished trace as exposed on /debug/traces and written to
+// the NDJSON sink.
+type Record struct {
+	Channel string `json:"channel"`
+	DocSeq  int64  `json:"doc_seq"`
+	// TotalNs is admission start to the last recorded end mark (normally
+	// the final traced delivery's wire flush; evaluation end for a
+	// document with no deliveries).
+	TotalNs int64 `json:"total_ns"`
+	// Stages maps stage name to accumulated nanoseconds. Stages on
+	// different goroutines can overlap (see StageDeliverWait), so the sum
+	// approximates TotalNs rather than partitioning it exactly.
+	Stages        map[string]int64 `json:"stages"`
+	Events        int64            `json:"events"`
+	MachinesWoken int64            `json:"machines_woken"`
+	Deliveries    int64            `json:"deliveries"`
+}
+
+// StageSumNs returns the sum of all recorded stage durations.
+func (r Record) StageSumNs() int64 {
+	var sum int64
+	for _, ns := range r.Stages {
+		sum += ns
+	}
+	return sum
+}
+
+// Tracer samples publishes for stage tracing: every Nth publish gets a
+// Trace, finished records land in a bounded in-memory ring (served by
+// /debug/traces) and, when configured, as NDJSON lines on a sink.
+//
+//vitex:counters
+type Tracer struct {
+	every int64 //vitex:plain set at construction, read-only afterwards
+	tick  atomic.Int64
+	pool  sync.Pool // *Trace
+
+	mu   sync.Mutex
+	ring []Record  //vitex:guardedby=mu
+	next int       //vitex:guardedby=mu
+	sink io.Writer //vitex:guardedby=mu
+	enc  *json.Encoder
+
+	emitted atomic.Int64
+}
+
+// NewTracer samples one publish in every. ringSize bounds the in-memory
+// record ring (<=0 defaults to 256); sink, when non-nil, additionally
+// receives each record as one NDJSON line. every <= 0 disables tracing
+// entirely: the returned tracer is nil, and nil tracers hand out nil
+// traces, so the instrumented path stays allocation-free.
+func NewTracer(every int, ringSize int, sink io.Writer) *Tracer {
+	if every <= 0 {
+		return nil
+	}
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	t := &Tracer{every: int64(every), ring: make([]Record, 0, ringSize), sink: sink}
+	if sink != nil {
+		t.enc = json.NewEncoder(sink)
+	}
+	return t
+}
+
+// Sample returns a started Trace when this publish is selected, nil
+// otherwise (and always nil on a nil tracer). The returned trace holds one
+// reference for the publish path.
+func (tr *Tracer) Sample(channel string, docSeq int64) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if tr.tick.Add(1)%tr.every != 0 {
+		return nil
+	}
+	t, _ := tr.pool.Get().(*Trace)
+	if t == nil {
+		t = &Trace{}
+	}
+	t.tracer = tr
+	t.channel = channel
+	t.docSeq = docSeq
+	t.start = time.Now()
+	t.refs.Store(1)
+	return t
+}
+
+// Emitted returns the number of finished trace records.
+func (tr *Tracer) Emitted() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.emitted.Load()
+}
+
+// Recent returns the buffered records, newest first.
+func (tr *Tracer) Recent() []Record {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Record, 0, len(tr.ring))
+	// ring is filled to cap then overwritten at next; newest-first order
+	// walks backwards from next-1.
+	for i := 0; i < len(tr.ring); i++ {
+		idx := tr.next - 1 - i
+		if idx < 0 {
+			idx += len(tr.ring)
+		}
+		out = append(out, tr.ring[idx])
+	}
+	return out
+}
+
+// emit builds the finished record, publishes it to the ring and sink, and
+// recycles the trace.
+func (tr *Tracer) emit(t *Trace) {
+	rec := Record{
+		Channel:       t.channel,
+		DocSeq:        t.docSeq,
+		TotalNs:       t.endNs.Load(),
+		Stages:        make(map[string]int64, numStages),
+		Events:        t.events.Load(),
+		MachinesWoken: t.machinesWoken.Load(),
+		Deliveries:    t.deliveries.Load(),
+	}
+	for s := Stage(0); s < numStages; s++ {
+		if ns := t.stages[s].Load(); ns != 0 {
+			rec.Stages[s.String()] = ns
+		}
+	}
+	t.Reset()
+	tr.pool.Put(t)
+
+	tr.mu.Lock()
+	if len(tr.ring) < cap(tr.ring) {
+		tr.ring = append(tr.ring, rec)
+		tr.next = len(tr.ring) % cap(tr.ring)
+	} else {
+		tr.ring[tr.next] = rec
+		tr.next = (tr.next + 1) % len(tr.ring)
+	}
+	if tr.enc != nil {
+		// Best-effort: a failing sink must not break publishing.
+		_ = tr.enc.Encode(rec)
+	}
+	tr.mu.Unlock()
+	tr.emitted.Add(1)
+}

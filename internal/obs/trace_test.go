@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceSafe: the disabled state is a nil pointer; every method must
+// no-op without dereferencing.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddStage(StageAdmission, time.Second)
+	tr.AddEvents(1)
+	tr.AddMachinesWoken(1)
+	tr.AddDeliveries(1)
+	tr.MarkEnd()
+	tr.Ref()
+	tr.Unref()
+	if tr.SinceStartNs() != 0 {
+		t.Fatal("nil SinceStartNs != 0")
+	}
+	var tcr *Tracer
+	if tcr.Sample("c", 1) != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	if tcr.Recent() != nil || tcr.Emitted() != 0 {
+		t.Fatal("nil tracer has records")
+	}
+}
+
+func TestTracerSamplingCadence(t *testing.T) {
+	tr := NewTracer(3, 8, nil)
+	var sampled int
+	for i := 0; i < 30; i++ {
+		if tc := tr.Sample("c", int64(i)); tc != nil {
+			sampled++
+			tc.Unref()
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 30 at every=3, want 10", sampled)
+	}
+	if NewTracer(0, 8, nil) != nil {
+		t.Fatal("every=0 should disable the tracer entirely")
+	}
+}
+
+// TestTraceLifecycle walks one trace through the reference protocol and
+// checks the emitted record.
+func TestTraceLifecycle(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTracer(1, 8, &sink)
+	tc := tr.Sample("orders", 7)
+	if tc == nil {
+		t.Fatal("every=1 must sample")
+	}
+	tc.AddStage(StageAdmission, 100*time.Nanosecond)
+	tc.AddStage(StageWALAppend, 200*time.Nanosecond)
+	tc.AddStage(StageWireWrite, 50*time.Nanosecond)
+	tc.AddStage(StageWireWrite, 50*time.Nanosecond) // accumulates
+	tc.AddEvents(42)
+	tc.AddMachinesWoken(3)
+	tc.AddDeliveries(2)
+	tc.Ref() // one in-flight delivery
+	tc.Unref()
+	if tr.Emitted() != 0 {
+		t.Fatal("emitted before last reference released")
+	}
+	tc.MarkEnd()
+	tc.Unref()
+	if tr.Emitted() != 1 {
+		t.Fatalf("emitted = %d, want 1", tr.Emitted())
+	}
+	recs := tr.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("recent = %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Channel != "orders" || r.DocSeq != 7 {
+		t.Fatalf("record identity = %q/%d", r.Channel, r.DocSeq)
+	}
+	if r.Stages["wire_write"] != 100 {
+		t.Fatalf("wire_write = %d, want accumulated 100", r.Stages["wire_write"])
+	}
+	if r.Events != 42 || r.MachinesWoken != 3 || r.Deliveries != 2 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if got := r.StageSumNs(); got != 100+200+100 {
+		t.Fatalf("stage sum = %d", got)
+	}
+	if r.TotalNs <= 0 {
+		t.Fatalf("total_ns = %d, want > 0 after MarkEnd", r.TotalNs)
+	}
+	// The sink got exactly one NDJSON line that round-trips.
+	line := strings.TrimSpace(sink.String())
+	if strings.Contains(line, "\n") {
+		t.Fatalf("sink has multiple lines: %q", line)
+	}
+	var back Record
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatalf("sink line does not parse: %v", err)
+	}
+	if back.DocSeq != 7 || back.Stages["wal_append"] != 200 {
+		t.Fatalf("sink record = %+v", back)
+	}
+}
+
+// TestTracerRingWraps: the ring keeps the newest ringSize records,
+// newest first.
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(1, 4, nil)
+	for i := 1; i <= 10; i++ {
+		tc := tr.Sample("c", int64(i))
+		tc.Unref()
+	}
+	recs := tr.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("recent = %d records, want 4", len(recs))
+	}
+	for i, want := range []int64{10, 9, 8, 7} {
+		if recs[i].DocSeq != want {
+			t.Fatalf("recent[%d].DocSeq = %d, want %d", i, recs[i].DocSeq, want)
+		}
+	}
+}
+
+// TestTracerConcurrent exercises sample/record/emit and Recent under
+// contention (meaningful under -race).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(2, 16, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tc := tr.Sample("c", int64(i))
+				if tc == nil {
+					continue
+				}
+				tc.AddStage(StageScanDispatch, time.Microsecond)
+				tc.Ref()
+				go func() {
+					tc.AddStage(StageWireWrite, time.Nanosecond)
+					tc.MarkEnd()
+					tc.Unref()
+				}()
+				tc.Unref()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Recent()
+		}
+	}()
+	wg.Wait()
+	<-done
+	for deadline := time.Now().Add(5 * time.Second); tr.Emitted() != 1000; {
+		if time.Now().After(deadline) {
+			t.Fatalf("emitted = %d, want 1000", tr.Emitted())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < numStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("stage %d has bad name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage must stringify as unknown")
+	}
+}

@@ -27,10 +27,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Config sizes a Broker. The zero value gets sensible defaults.
@@ -68,6 +71,20 @@ type Config struct {
 	// survives process crashes (the records are in the page cache) but not
 	// host power loss.
 	WALSync bool
+
+	// TraceSample, when positive, stage-traces every TraceSample-th
+	// publish: admission, WAL append/fsync, queue wait, scan+dispatch,
+	// ring enqueue, deliver wait and wire write each get a nanosecond
+	// share, and the finished records are kept in an in-memory ring
+	// (served by GET /debug/traces). 0 disables tracing: the publish path
+	// then carries a nil trace whose methods no-op without allocating.
+	TraceSample int
+	// TraceRing bounds the in-memory buffer of finished trace records
+	// (default 256).
+	TraceRing int
+	// TraceSink, when non-nil, additionally receives every finished trace
+	// as one NDJSON line (an operator's file sink).
+	TraceSink io.Writer
 }
 
 func (cfg Config) withDefaults() Config {
@@ -109,7 +126,15 @@ type Broker struct {
 	// draining counts channels removed by DeleteChannel whose queues are
 	// still running dry; Shutdown waits for them like any other channel.
 	draining sync.WaitGroup
+
+	// tracer samples publishes for stage tracing (nil when disabled; a
+	// nil tracer hands out nil traces, keeping the path allocation-free).
+	tracer *obs.Tracer
 }
+
+// Tracer returns the broker's stage-trace sampler (nil when tracing is
+// disabled).
+func (b *Broker) Tracer() *obs.Tracer { return b.tracer }
 
 // New builds a broker; channels are created on first use. For a durable
 // configuration (Config.DataDir set) use Open, which also recovers the
@@ -124,6 +149,7 @@ func New(cfg Config) *Broker {
 		evalCtx:    ctx,
 		evalCancel: cancel,
 		sem:        make(chan struct{}, cfg.Workers),
+		tracer:     obs.NewTracer(cfg.TraceSample, cfg.TraceRing, cfg.TraceSink),
 	}
 }
 
@@ -327,6 +353,7 @@ func (b *Broker) Metrics() *MetricsResponse {
 	}
 	b.mu.Unlock()
 	m := &MetricsResponse{Channels: make(map[string]ChannelMetrics, len(chans))}
+	var ack, deliver obs.Snapshot
 	for name, c := range chans {
 		cm := c.metrics()
 		m.Channels[name] = cm
@@ -338,6 +365,14 @@ func (b *Broker) Metrics() *MetricsResponse {
 			m.Totals.WALSegments += cm.WAL.Segments
 			m.Totals.ReplayDocs += cm.WAL.ReplayDocs
 			m.Totals.ReplayResults += cm.WAL.ReplayResults
+		}
+		ack.Merge(c.pubAck.Snapshot())
+		deliver.Merge(c.pubDeliver.Snapshot())
+	}
+	if len(chans) > 0 {
+		m.Totals.Latency = &LatencyMetrics{
+			PublishToAck:      ack.Stats(),
+			PublishToDelivery: deliver.Stats(),
 		}
 	}
 	m.Totals.Channels = len(chans)

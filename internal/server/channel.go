@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	vitex "repro"
+	"repro/internal/obs"
 )
 
 // Sentinel errors of the broker API; the HTTP layer maps them to statuses.
@@ -76,6 +78,16 @@ type channel struct {
 	gaps          atomic.Int64
 	replayDocs    atomic.Int64
 	replayResults atomic.Int64
+
+	// Latency histograms (always on — recording is three atomic adds and
+	// the clock reads are per document or per delivery, never per event).
+	// pubAck: publish admission to acknowledgment. pubDeliver: publish
+	// admission to the delivery's NDJSON encode on a consumer connection
+	// (replays excluded; all of this channel's rings share the broker's
+	// slow-consumer policy, which labels the series in the Prometheus
+	// view). WAL append/fsync histograms live on the walLog.
+	pubAck     obs.Histogram
+	pubDeliver obs.Histogram
 }
 
 // subscription is one standing query of a channel plus its delivery ring.
@@ -96,6 +108,14 @@ type job struct {
 	data []byte
 	ctx  context.Context
 	done chan jobResult // nil for async publishes
+
+	// admitted is the publish handler's entry time (latency histograms);
+	// enqueued is the ingest-queue send time (the trace's queue_wait
+	// stage); tr is the document's sampled stage trace, nil for the
+	// overwhelming majority of publishes.
+	admitted time.Time
+	enqueued time.Time
+	tr       *obs.Trace
 }
 
 type jobResult struct {
@@ -327,7 +347,11 @@ func (c *channel) subscriptionByID(id string) *subscription {
 // queued.
 func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*PublishResponse, error) {
 	jctx, cancel := c.b.jobContext(ctx, wait)
-	j := &job{data: data, ctx: jctx}
+	j := &job{data: data, ctx: jctx, admitted: time.Now()}
+	// Sample before the admission lock so the trace's clock covers lock
+	// wait; the document number is filled in once assigned, and rejected
+	// publishes cancel the trace without emitting.
+	j.tr = c.b.tracer.Sample(c.name, 0)
 	if wait {
 		j.done = make(chan jobResult, 1)
 	}
@@ -335,6 +359,7 @@ func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*Publish
 	if c.closed {
 		c.mu.Unlock()
 		cancel()
+		j.tr.Cancel()
 		return nil, ErrShutdown
 	}
 	// Reserve queue room before assigning a cursor: publish is the only
@@ -343,11 +368,15 @@ func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*Publish
 	if len(c.queue) == cap(c.queue) {
 		c.mu.Unlock()
 		cancel()
+		j.tr.Cancel()
 		return nil, ErrQueueFull
 	}
 	c.nextDoc++
 	j.seq = c.nextDoc
+	j.tr.SetDocSeq(j.seq)
+	var walNs time.Duration
 	if c.wal != nil {
+		walStart := time.Now()
 		if err := c.wal.append(j.seq, data); err != nil {
 			// The record is not durable: reject the publish and give the
 			// cursor back (a torn partial write is truncated on the next
@@ -355,9 +384,18 @@ func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*Publish
 			c.nextDoc--
 			c.mu.Unlock()
 			cancel()
+			j.tr.Cancel()
 			return nil, err
 		}
+		walNs = time.Since(walStart)
+		if j.tr != nil {
+			fsyncNs := c.wal.lastFsyncDur()
+			j.tr.AddStage(obs.StageWALFsync, fsyncNs)
+			j.tr.AddStage(obs.StageWALAppend, walNs-fsyncNs)
+		}
 	}
+	j.enqueued = time.Now()
+	j.tr.AddStage(obs.StageAdmission, j.enqueued.Sub(j.admitted)-walNs)
 	c.queue <- j
 	c.mu.Unlock()
 	c.docsIn.Add(1)
@@ -366,11 +404,13 @@ func (c *channel) publish(ctx context.Context, data []byte, wait bool) (*Publish
 		// Async jobs run under the broker's lifetime context alone; cancel
 		// here would kill them. jobContext returned a no-op cancel.
 		cancel()
+		c.pubAck.Observe(time.Since(j.admitted))
 		return &PublishResponse{Channel: c.name, DocSeq: j.seq, Queued: true}, nil
 	}
 	defer cancel()
 	select {
 	case res := <-j.done:
+		c.pubAck.Observe(time.Since(j.admitted))
 		if res.err != nil {
 			return &PublishResponse{Channel: c.name, DocSeq: j.seq}, &publishError{seq: j.seq, err: res.err}
 		}
@@ -434,6 +474,15 @@ func (c *channel) drainLoop() {
 // result's QueryIndex always resolves to the subscription whose machine
 // produced it, however the set churns concurrently.
 func (c *channel) evaluate(j *job) jobResult {
+	traced := j.tr != nil
+	var evalStart time.Time
+	var ringNs int64
+	var wokenBefore int64
+	if traced {
+		evalStart = time.Now()
+		j.tr.AddStage(obs.StageQueueWait, evalStart.Sub(j.enqueued))
+		wokenBefore = c.qs.Metrics().Deliveries
+	}
 	c.mu.Lock()
 	view := c.qs.View()
 	subs := append([]*subscription(nil), c.subs...)
@@ -443,7 +492,7 @@ func (c *channel) evaluate(j *job) jobResult {
 	var results int64
 	stats, err := view.Stream(bytes.NewReader(j.data), opts, func(sr vitex.SetResult) error {
 		sub := subs[sr.QueryIndex]
-		delivered, perr := sub.ring.push(j.ctx, Delivery{
+		d := Delivery{
 			Type:        DeliveryResult,
 			DocSeq:      j.seq,
 			Seq:         sr.Seq,
@@ -451,7 +500,27 @@ func (c *channel) evaluate(j *job) jobResult {
 			Value:       sr.Value,
 			ConfirmedAt: sr.ConfirmedAt,
 			DeliveredAt: sr.DeliveredAt,
-		})
+			pubAt:       j.admitted,
+		}
+		var pushStart time.Time
+		if traced {
+			// The delivery carries a reference on the trace; whoever
+			// retires it (wire write, drop, replay supersession) releases.
+			j.tr.Ref()
+			d.tr = j.tr
+			d.ringAt = j.tr.SinceStartNs()
+			pushStart = time.Now()
+		}
+		delivered, perr := sub.ring.push(j.ctx, d)
+		if traced {
+			ringNs += time.Since(pushStart).Nanoseconds()
+			if !delivered {
+				// Dropped or closed: the delivery never reaches a wire.
+				j.tr.Unref()
+			} else {
+				j.tr.AddDeliveries(1)
+			}
+		}
 		if errors.Is(perr, errSubClosed) {
 			// Unsubscribed mid-document: skip it, keep serving the others.
 			return nil
@@ -465,6 +534,17 @@ func (c *channel) evaluate(j *job) jobResult {
 	var events int64
 	if len(stats) > 0 {
 		events = stats[0].Events
+	}
+	if traced {
+		evalNs := time.Since(evalStart).Nanoseconds()
+		j.tr.AddStage(obs.StageScanDispatch, time.Duration(evalNs-ringNs))
+		j.tr.AddStage(obs.StageRingEnqueue, time.Duration(ringNs))
+		j.tr.AddEvents(events)
+		j.tr.AddMachinesWoken(c.qs.Metrics().Deliveries - wokenBefore)
+		// The publish path's reference: the trace emits once every traced
+		// delivery retires (immediately, for a document with none).
+		j.tr.MarkEnd()
+		j.tr.Unref()
 	}
 	if err != nil {
 		// The publisher gets a structured error; every subscriber of the
@@ -497,6 +577,16 @@ func (c *channel) metrics() ChannelMetrics {
 		Queued:        queued,
 		Engine:        c.qs.Metrics(),
 	}
+	lat := &LatencyMetrics{
+		PublishToAck:      c.pubAck.Snapshot().Stats(),
+		PublishToDelivery: c.pubDeliver.Snapshot().Stats(),
+	}
+	if c.wal != nil {
+		app, fs := c.wal.latency()
+		appStats, fsStats := app.Stats(), fs.Stats()
+		lat.WALAppend, lat.WALFsync = &appStats, &fsStats
+	}
+	cm.Latency = lat
 	if c.wal != nil {
 		ws := c.wal.stats()
 		cm.WAL = &WALMetrics{

@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xmlscan"
 	"repro/internal/xpath"
 )
@@ -29,6 +31,7 @@ func Handler(b *Broker) http.Handler {
 	mux.HandleFunc("POST /channels/{ch}/documents", b.handlePublish)
 	mux.HandleFunc("DELETE /channels/{ch}", b.handleDeleteChannel)
 	mux.HandleFunc("GET /metrics", b.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", b.handleTraces)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -220,9 +223,32 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	deliver := func(d Delivery) (ok bool) {
 		if d.DocSeq != 0 && deliveryEnd(d) <= skipTo {
+			d.retireTrace()
 			return true // superseded by the replay
 		}
-		return enc.Encode(d) == nil
+		if d.tr == nil {
+			ok = enc.Encode(d) == nil
+			if ok && !d.pubAt.IsZero() {
+				sub.ch.pubDeliver.Observe(time.Since(d.pubAt))
+			}
+			return ok
+		}
+		// Traced delivery: deliver_wait ran from its ring entry to this
+		// dequeue; wire_write covers encode plus an immediate flush (batching
+		// it with neighbors would hide the flush cost from the trace).
+		d.tr.AddStage(obs.StageDeliverWait, time.Duration(d.tr.SinceStartNs()-d.ringAt))
+		wireStart := time.Now()
+		ok = enc.Encode(d) == nil
+		if ok {
+			ok = rc.Flush() == nil
+		}
+		d.tr.AddStage(obs.StageWireWrite, time.Since(wireStart))
+		d.tr.MarkEnd()
+		if ok && !d.pubAt.IsZero() {
+			sub.ch.pubDeliver.Observe(time.Since(d.pubAt))
+		}
+		d.retireTrace()
+		return ok
 	}
 	if held != nil {
 		if !deliver(*held) {
@@ -280,8 +306,63 @@ func (b *Broker) handleDeleteChannel(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleMetrics answers in JSON by default (MetricsResponse; map keys are
+// emitted sorted, so the body is deterministic for a given state) and in
+// Prometheus text exposition format when asked — either explicitly with
+// ?format=prometheus|json, or by Accept negotiation (text/plain or
+// application/openmetrics-text ahead of application/json).
 func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, b.Metrics())
+	prom := false
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		prom = true
+	case "json", "":
+		prom = r.URL.Query().Get("format") == "" && acceptsPrometheus(r.Header.Get("Accept"))
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "unknown format (want json or prometheus)"})
+		return
+	}
+	if prom {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, b)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(b.Metrics())
+}
+
+// acceptsPrometheus reports whether the Accept header asks for the text
+// exposition format ahead of JSON. First listed wins — enough fidelity for
+// scrapers (which send text/plain or openmetrics first) without a full
+// q-value parser; bare curl (*/*) and absent headers stay on JSON.
+func acceptsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		switch strings.TrimSpace(strings.SplitN(part, ";", 2)[0]) {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
+}
+
+// handleTraces serves the tracer's in-memory ring of finished stage traces,
+// newest first. With sampling off it answers enabled=false and an empty
+// list rather than 404, so probers need no config knowledge.
+func (b *Broker) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tr := b.Tracer()
+	recs := tr.Recent()
+	if recs == nil {
+		recs = []obs.Record{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool         `json:"enabled"`
+		Emitted int64        `json:"emitted"`
+		Traces  []obs.Record `json:"traces"`
+	}{tr != nil, tr.Emitted(), recs})
 }
 
 // boolParam interprets a query-string flag: absent -> false, bare or

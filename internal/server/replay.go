@@ -154,6 +154,8 @@ func (c *channel) replay(ctx context.Context, sub *subscription, plan replayPlan
 					held = &d
 					break
 				}
+				// Superseded by this replay: it will never reach a wire.
+				d.retireTrace()
 			}
 		}
 		return nil

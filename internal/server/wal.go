@@ -42,6 +42,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -209,6 +212,28 @@ type walLog struct {
 	totalBytes int64 //vitex:guardedby=mu
 	closed     bool  //vitex:guardedby=mu
 	buf        []byte
+
+	// Latency accounting, recorded by every append: the write portion
+	// (rotation and retention included, fsync excluded) and the fsync
+	// portion (zero-count with fsync off). lastFsyncNs carries the most
+	// recent append's fsync cost out to the publish path's stage trace —
+	// sound because each channel's publishes are serialized under the
+	// channel lock.
+	appendHist  obs.Histogram
+	fsyncHist   obs.Histogram
+	lastFsyncNs int64 //vitex:guardedby=mu
+}
+
+// lastFsyncDur returns the fsync portion of the most recent append.
+func (w *walLog) lastFsyncDur() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Duration(w.lastFsyncNs)
+}
+
+// latency snapshots the append/fsync histograms.
+func (w *walLog) latency() (appendNs, fsyncNs obs.Snapshot) {
+	return w.appendHist.Snapshot(), w.fsyncHist.Snapshot()
 }
 
 // openWAL opens (creating if needed) the channel WAL in dir and recovers its
@@ -349,6 +374,7 @@ func (w *walLog) scanSegment(seg walSegment, prev int64, fn func(cursor int64, p
 // under its lock). Rotation and retention run here, before the write, so the
 // record lands in a segment with room.
 func (w *walLog) append(cursor int64, payload []byte) error {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -373,11 +399,16 @@ func (w *walLog) append(cursor int64, payload []byte) error {
 		}
 		return fmt.Errorf("wal: append cursor %d: %w", cursor, err)
 	}
+	w.lastFsyncNs = 0
 	if w.fsync {
+		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync cursor %d: %w", cursor, err)
 		}
+		w.lastFsyncNs = time.Since(syncStart).Nanoseconds()
+		w.fsyncHist.ObserveNs(w.lastFsyncNs)
 	}
+	w.appendHist.ObserveNs(time.Since(start).Nanoseconds() - w.lastFsyncNs)
 	w.activeSize += int64(len(w.buf))
 	w.totalBytes += int64(len(w.buf))
 	w.last = cursor

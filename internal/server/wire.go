@@ -28,7 +28,12 @@
 // [FromCursor, ToCursor].
 package server
 
-import "repro/internal/engine"
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
 
 // Delivery kinds; see Delivery.Type.
 const (
@@ -83,6 +88,26 @@ type Delivery struct {
 	ToCursor   int64 `json:"to_cursor,omitempty"`
 	// Reason explains a gap.
 	Reason string `json:"reason,omitempty"`
+
+	// Observability carry, invisible on the wire (unexported, never
+	// marshaled): pubAt is the document's publish-admission time (zero for
+	// replayed deliveries), feeding the channel's publish-to-delivery
+	// histogram at wire-write time; tr/ringAt belong to a sampled stage
+	// trace — the trace this delivery holds a reference on, and the
+	// trace-relative nanosecond at which the delivery entered the ring.
+	pubAt  time.Time
+	tr     *obs.Trace
+	ringAt int64
+}
+
+// retireTrace releases d's stage-trace reference without a wire write — the
+// delivery was dropped, skipped as replay-superseded, or discarded by the
+// replay ring bleed. Safe on untraced deliveries.
+func (d *Delivery) retireTrace() {
+	if d.tr != nil {
+		d.tr.Unref()
+		d.tr = nil
+	}
 }
 
 // SubscribeResponse answers subscription creation and replacement.
@@ -138,6 +163,27 @@ type ChannelMetrics struct {
 	// Engine is the channel's live-QuerySet churn accounting (compiles,
 	// epochs, compactions, slot occupancy).
 	Engine engine.Metrics `json:"engine"`
+	// Latency summarizes the channel's latency histograms.
+	Latency *LatencyMetrics `json:"latency,omitempty"`
+}
+
+// LatencyMetrics summarizes a channel's (or the broker's aggregated)
+// latency histograms: counts, sums and upper-bound quantile estimates in
+// nanoseconds. Full bucket data is exposed in the Prometheus view of
+// /metrics (see prom.go for the series names).
+type LatencyMetrics struct {
+	// PublishToAck: publish admission to acknowledgment (the WAL append
+	// included for durable channels; evaluation included for synchronous
+	// publishes).
+	PublishToAck obs.Stats `json:"publish_to_ack"`
+	// PublishToDelivery: publish admission to the delivery's NDJSON
+	// encode on a consumer connection. Replayed deliveries are excluded.
+	PublishToDelivery obs.Stats `json:"publish_to_delivery"`
+	// WALAppend/WALFsync: the write (rotation included, fsync excluded)
+	// and fsync portions of WAL appends; nil on memory-only channels, and
+	// WALFsync stays zero-count unless Config.WALSync is on.
+	WALAppend *obs.Stats `json:"wal_append,omitempty"`
+	WALFsync  *obs.Stats `json:"wal_fsync,omitempty"`
 }
 
 // WALMetrics is one channel's write-ahead-log slice of the /metrics answer.
@@ -171,6 +217,9 @@ type MetricsResponse struct {
 		WALSegments   int   `json:"wal_segments"`
 		ReplayDocs    int64 `json:"replay_docs"`
 		ReplayResults int64 `json:"replay_results"`
+		// Latency aggregates every channel's publish-to-ack and
+		// publish-to-delivery histograms (nil when no channel exists).
+		Latency *LatencyMetrics `json:"latency,omitempty"`
 	} `json:"totals"`
 	Config struct {
 		Workers    int    `json:"workers"`
