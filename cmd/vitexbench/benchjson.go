@@ -37,10 +37,14 @@ type BenchRecord struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	NsPerEvent   float64 `json:"ns_per_event"`
 	EventsPerSec float64 `json:"events_per_sec"`
-	AllocsPerOp  float64 `json:"allocs_per_op"`
-	BytesPerOp   float64 `json:"bytes_per_op"`
-	PeakStack    int     `json:"peak_stack_entries"`
-	Results      int64   `json:"results_per_op"`
+	// CorpusMBPerSec is corpus bytes over wall time per op — the same
+	// bandwidth unit the scanner_throughput workload reports, so engine
+	// records and pure-scan records compare on one axis.
+	CorpusMBPerSec float64 `json:"corpus_mb_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	PeakStack      int     `json:"peak_stack_entries"`
+	Results        int64   `json:"results_per_op"`
 
 	// Prefix-overlap workloads: the generator's overlap fraction, whether
 	// prefix sharing was enabled, and the dispatch/trie-sharing statistics
@@ -280,22 +284,23 @@ func measure(name string, queries, workers, corpusBytes int, metricsOf func() en
 	runtime.ReadMemStats(&after)
 	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
 	rec := &BenchRecord{
-		Name:         name,
-		Queries:      queries,
-		Workers:      workers,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumCPU:       runtime.NumCPU(),
-		GoVersion:    runtime.Version(),
-		CorpusBytes:  corpusBytes,
-		Events:       events,
-		Iterations:   iters,
-		NsPerOp:      nsPerOp,
-		NsPerEvent:   nsPerOp / float64(events),
-		EventsPerSec: float64(events) / (nsPerOp / 1e9),
-		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(iters),
-		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
-		PeakStack:    peak,
-		Results:      results,
+		Name:           name,
+		Queries:        queries,
+		Workers:        workers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		GoVersion:      runtime.Version(),
+		CorpusBytes:    corpusBytes,
+		Events:         events,
+		Iterations:     iters,
+		NsPerOp:        nsPerOp,
+		NsPerEvent:     nsPerOp / float64(events),
+		EventsPerSec:   float64(events) / (nsPerOp / 1e9),
+		CorpusMBPerSec: float64(corpusBytes) / (nsPerOp / 1e9) / 1e6,
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		PeakStack:      peak,
+		Results:        results,
 	}
 	if metricsOf != nil {
 		m1 := metricsOf()
@@ -343,7 +348,57 @@ func checkBaseline(dir, baselineDir string, out io.Writer) error {
 		return fmt.Errorf("bench guard: %s regressed %.2fx over the committed baseline (%.1f vs %.1f ns/event)",
 			workload, ratio, cur.NsPerEvent, base.NsPerEvent)
 	}
-	return checkRecoveryBaseline(dir, baselineDir, threshold, out)
+	if err := checkRecoveryBaseline(dir, baselineDir, threshold, out); err != nil {
+		return err
+	}
+	return checkScannerBaseline(dir, baselineDir, threshold, out)
+}
+
+// checkScannerBaseline guards the front-end scanner's bandwidth: the batched
+// ticker corpus MB/s of the scanner_throughput workload must not fall below
+// 1/threshold of the committed baseline. The ticker corpus is the guard
+// metric because it is the markup-dense extreme — tag-parse bound, the
+// first place a scanner hot-path regression shows. A missing baseline record
+// is skipped (the workload is newer than some checkouts), a missing current
+// record is an error — the run was supposed to produce it.
+func checkScannerBaseline(dir, baselineDir string, threshold float64, out io.Writer) error {
+	const corpus = "ticker"
+	read := func(d string) (float64, error) {
+		data, err := os.ReadFile(filepath.Join(d, "BENCH_scanner_throughput.json"))
+		if err != nil {
+			return 0, err
+		}
+		var rec ScannerBenchRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return 0, err
+		}
+		for _, c := range rec.Corpora {
+			if c.Corpus == corpus {
+				return c.MBPerSec, nil
+			}
+		}
+		return 0, fmt.Errorf("record in %s has no %s corpus", d, corpus)
+	}
+	base, err := read(baselineDir)
+	if os.IsNotExist(err) {
+		fmt.Fprintln(out, "bench guard: no committed BENCH_scanner_throughput.json baseline; skipping")
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("scanner baseline: %w", err)
+	}
+	cur, err := read(dir)
+	if err != nil {
+		return fmt.Errorf("scanner current: %w", err)
+	}
+	ratio := base / cur
+	fmt.Fprintf(out, "bench guard: scanner_throughput %s %.0f MB/s vs baseline %.0f (%.2fx, threshold %.2fx)\n",
+		corpus, cur, base, ratio, threshold)
+	if ratio > threshold {
+		return fmt.Errorf("bench guard: scanner_throughput %s regressed %.2fx under the committed baseline (%.0f vs %.0f MB/s)",
+			corpus, ratio, cur, base)
+	}
+	return nil
 }
 
 // checkRecoveryBaseline guards the durability path: the replay throughput of

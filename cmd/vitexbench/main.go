@@ -150,6 +150,11 @@ func run(args []string, stdout io.Writer) error {
 		if err := benchWorkloads(*benchDir, *trades, *overlap, smoke, stdout); err != nil {
 			return fmt.Errorf("bench: %w", err)
 		}
+		// The pure-scan workload runs in smoke too: the CI bench guard
+		// compares its ticker MB/s against the committed baseline.
+		if err := scannerThroughput(*benchDir, *trades, smoke, stdout); err != nil {
+			return fmt.Errorf("bench: scanner_throughput: %w", err)
+		}
 		if !smoke {
 			if err := serverThroughput(*benchDir, *trades, stdout); err != nil {
 				return fmt.Errorf("bench: server_throughput: %w", err)

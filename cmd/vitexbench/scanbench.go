@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/sax"
+	"repro/internal/xmlscan"
+)
+
+// ScannerCorpusRecord is one corpus of the scanner_throughput workload: the
+// front-end scanner alone (no standing queries, a null handler), measured in
+// MB/s over the corpus bytes. Batched and per-event delivery are both
+// recorded — their ratio is the cost of per-event interface dispatch, the
+// A/B the scanner-bandwidth experiment tracks.
+type ScannerCorpusRecord struct {
+	Corpus      string `json:"corpus"`
+	CorpusBytes int    `json:"corpus_bytes"`
+	Events      int64  `json:"events"`
+	// BytesPerEvent is the markup density lever: text-heavy corpora scan at
+	// memory-bandwidth-bound MB/s, markup-dense ones at tag-parse-bound.
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	// Batched delivery (sax.BatchHandler, the engine's default path).
+	MBPerSec   float64 `json:"corpus_mb_per_sec"`
+	NsPerEvent float64 `json:"ns_per_event"`
+	// Per-event delivery (HandleEvent), the pre-batching contract.
+	PerEventMBPerSec   float64 `json:"per_event_corpus_mb_per_sec"`
+	PerEventNsPerEvent float64 `json:"per_event_ns_per_event"`
+}
+
+// ScannerBenchRecord is the BENCH_scanner_throughput.json payload.
+type ScannerBenchRecord struct {
+	Name       string                `json:"name"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
+	GoVersion  string                `json:"go_version,omitempty"`
+	Corpora    []ScannerCorpusRecord `json:"corpora"`
+}
+
+// scanSink counts events and otherwise discards them: the null handler that
+// makes a Run measure pure scan cost. It implements both delivery contracts
+// so one scanner can be driven in either mode via SetEventBatch.
+type scanSink struct {
+	events int64
+}
+
+func (c *scanSink) HandleEvent(ev *sax.Event) error { c.events++; return nil }
+
+func (c *scanSink) HandleBatch(evs []sax.Event) error {
+	c.events += int64(len(evs))
+	return nil
+}
+
+// scannerCorpora builds the corpus set: the four engine-workload document
+// families plus a synthetic text-heavy document (kilobyte text runs, sparse
+// markup) that isolates the bulk-skip path. smoke keeps the two the CI guard
+// compares.
+func scannerCorpora(trades int, smoke bool) []struct{ name, doc string } {
+	corpora := []struct{ name, doc string }{
+		{"ticker", datagen.Ticker{Trades: trades, Seed: 1}.String()},
+		{"text_heavy", textHeavyDoc(256, 4096)},
+	}
+	if smoke {
+		return corpora
+	}
+	return append(corpora, []struct{ name, doc string }{
+		{"portal", datagen.Portal{Articles: 400, Seed: 1}.String()},
+		{"book", datagen.Book{SectionDepth: 4, TableDepth: 4, Repeat: 300, AuthorEvery: 2, PositionEvery: 3}.String()},
+		{"protein", datagen.Protein{TargetBytes: 8 << 20, Seed: 1}.String()},
+	}...)
+}
+
+// textHeavyDoc builds paras paragraphs of width bytes of plain ASCII text
+// each — the best case for word-at-a-time content skipping, and the shape of
+// the paper's protein corpus pushed to its limit (~99% character data).
+func textHeavyDoc(paras, width int) string {
+	var sb strings.Builder
+	sb.Grow(paras*(width+16) + 16)
+	sb.WriteString("<doc>\n")
+	const unit = "the quick brown fox jumps over a lazy dog. "
+	line := strings.Repeat(unit, width/len(unit)+1)[:width]
+	for i := 0; i < paras; i++ {
+		sb.WriteString("<p>")
+		sb.WriteString(line)
+		sb.WriteString("</p>\n")
+	}
+	sb.WriteString("</doc>\n")
+	return sb.String()
+}
+
+// scannerThroughput measures the front-end scanner alone over the corpus set
+// and writes BENCH_scanner_throughput.json. The engine workloads bound how
+// much evaluation can cost on top; this workload bounds how fast any
+// evaluation can possibly go.
+func scannerThroughput(dir string, trades int, smoke bool, out io.Writer) error {
+	rec := &ScannerBenchRecord{
+		Name:       "scanner_throughput",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	for _, c := range scannerCorpora(trades, smoke) {
+		cr, err := measureScanner(c.name, c.doc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		rec.Corpora = append(rec.Corpora, *cr)
+		fmt.Fprintf(out, "scanner_throughput %-12s %8.1f MB/s batched %8.1f MB/s per-event  (%5.1f b/event, %.1f ns/event)\n",
+			c.name, cr.MBPerSec, cr.PerEventMBPerSec, cr.BytesPerEvent, cr.NsPerEvent)
+	}
+	path := filepath.Join(dir, "BENCH_scanner_throughput.json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-24s -> %s\n", "scanner_throughput", path)
+	return nil
+}
+
+func measureScanner(name, doc string) (*ScannerCorpusRecord, error) {
+	s := xmlscan.NewScanner(strings.NewReader(doc))
+	run := func(batch int) (nsPerOp float64, events int64, err error) {
+		const minBenchTime = 400 * time.Millisecond
+		sink := &scanSink{}
+		scan := func() error {
+			s.Reset(strings.NewReader(doc))
+			s.SetEventBatch(batch)
+			return s.Run(sink)
+		}
+		if err := scan(); err != nil { // warm-up
+			return 0, 0, err
+		}
+		events = sink.events
+		sink.events = 0
+		start := time.Now()
+		iters := 0
+		for time.Since(start) < minBenchTime {
+			if err := scan(); err != nil {
+				return 0, 0, err
+			}
+			iters++
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters), events, nil
+	}
+	batched, events, err := run(xmlscan.DefaultEventBatch)
+	if err != nil {
+		return nil, err
+	}
+	perEvent, _, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	return &ScannerCorpusRecord{
+		Corpus:             name,
+		CorpusBytes:        len(doc),
+		Events:             events,
+		BytesPerEvent:      float64(len(doc)) / float64(events),
+		MBPerSec:           float64(len(doc)) / (batched / 1e9) / 1e6,
+		NsPerEvent:         batched / float64(events),
+		PerEventMBPerSec:   float64(len(doc)) / (perEvent / 1e9) / 1e6,
+		PerEventNsPerEvent: perEvent / float64(events),
+	}, nil
+}

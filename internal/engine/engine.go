@@ -116,6 +116,31 @@ type Engine struct {
 	hotScanNs    atomic.Int64
 	hotTrieNs    atomic.Int64
 	hotMachineNs atomic.Int64
+
+	// scanBatch is the per-stream event-batch override (SetScanBatch):
+	// 0 = scanner default, < 0 = batching disabled (per-event delivery).
+	scanBatch atomic.Int64
+}
+
+// SetScanBatch overrides how many scanner events are delivered to sessions
+// per sax.BatchHandler call on subsequent streams (custom scanner only; the
+// std-parser path is always per-event). n > 0 sets the batch size, n == 0
+// restores the scanner default (xmlscan.DefaultEventBatch), n < 0 disables
+// batching entirely so events arrive one HandleEvent at a time — the A/B
+// configurations the scanner-bandwidth experiments sweep.
+func (e *Engine) SetScanBatch(n int) { e.scanBatch.Store(int64(n)) }
+
+// scanBatchEvents resolves the SetScanBatch override to the value handed to
+// xmlscan.Scanner.SetEventBatch (where 0 means "per-event").
+func (e *Engine) scanBatchEvents() int {
+	switch n := e.scanBatch.Load(); {
+	case n == 0:
+		return xmlscan.DefaultEventBatch
+	case n < 0:
+		return 0
+	default:
+		return int(n)
+	}
 }
 
 // EnableHotStats makes every every-th serial Stream run with timed routing,
@@ -269,6 +294,7 @@ func (s Snapshot) StreamContext(ctx context.Context, r io.Reader, useStdParser b
 		drv = sax.NewStdDriverWith(r, e.syms)
 	} else {
 		ses.scan.Reset(r)
+		ses.scan.SetEventBatch(e.scanBatchEvents())
 		drv = ses.scan
 	}
 	start := time.Now()
@@ -399,7 +425,12 @@ func (s *session) reset(opts []twigm.Options) {
 		if !opts[d].CountOnly {
 			s.recordable = true
 		}
-		s.runs[slot].Reset(opts[d])
+		ro := opts[d]
+		// Engine sessions may receive batched events whose Text/Attr.Value
+		// strings die when HandleBatch returns (sax.BatchHandler contract),
+		// so any value a machine retains past the event must be copied.
+		ro.CopyValues = true
+		s.runs[slot].Reset(ro)
 		if a := s.ep.anchors[slot]; a >= 0 {
 			// Anchored residual machines read their trie node's shared
 			// stack; rebind every stream (the session may have resynced
@@ -473,6 +504,26 @@ func (s *session) HandleEvent(ev *sax.Event) error {
 		}
 	}
 	return s.rt.route(ev, s.events)
+}
+
+// HandleBatch implements sax.BatchHandler: the scanner hands over events in
+// arrays, amortizing the per-event interface dispatch into one direct-call
+// loop. Routing, counters, the event clock and the per-event cancellation
+// poll are identical to per-event delivery. Event strings are transient per
+// the batch contract; the machines run with twigm.Options.CopyValues, so
+// anything a candidate retains is copied inside the route.
+//
+//vitex:hotpath
+func (s *session) HandleBatch(evs []sax.Event) error {
+	// The per-event cancellation poll stays inside the loop: a cancelled
+	// stream must deliver no further results, not even from events already
+	// queued in the same batch (see TestCancelDuringEmit).
+	for i := range evs {
+		if err := s.HandleEvent(&evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // router routes scan events to a set of machines: the static subscription

@@ -49,6 +49,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/sax"
 	"repro/internal/twigm"
@@ -130,6 +131,7 @@ func (s Snapshot) StreamParallelContext(ctx context.Context, r io.Reader, useStd
 		drv = sax.NewStdDriverWith(r, e.syms)
 	} else {
 		ps.scan.Reset(r)
+		ps.scan.SetEventBatch(e.scanBatchEvents())
 		drv = ps.scan
 	}
 
@@ -275,15 +277,20 @@ type resultChunk struct {
 
 // eventBatch is a pooled, fixed-capacity slice of scan events. Attribute
 // slices are deep-copied into the batch's arena (the scanner reuses its
-// attribute buffer between events); Name/Text strings are stable by the
-// producer contracts of this repository. refs counts the workers still
-// reading the batch; the last one returns it to the freelist.
+// attribute buffer between events). Element names are stable interned
+// strings; Text and attribute values are stable on the per-event producer
+// path, but under batched scanning (sax.BatchHandler) they die when the
+// scanner's HandleBatch call returns — long before the shard workers read
+// the batch — so the producer copies them into the batch's chars arena.
+// refs counts the workers still reading the batch; the last one returns it
+// to the freelist.
 //
 //vitex:pooled
 type eventBatch struct {
 	base   int64 //vitex:keep assigned by HandleEvent when the first event lands
 	events []sax.Event
 	attrs  []sax.Attr
+	chars  []byte
 	refs   atomic.Int32 //vitex:keep zero when freed (dispatch sets, workers decrement)
 }
 
@@ -291,6 +298,23 @@ type eventBatch struct {
 func (b *eventBatch) reset() {
 	b.events = b.events[:0]
 	b.attrs = b.attrs[:0]
+	b.chars = b.chars[:0]
+}
+
+// copied copies s into the batch's character arena and returns a string view
+// of the copy without a header allocation; the view lives as long as the
+// batch holds it (arena growth may move the backing array, but existing
+// views pin the old one). Used only for transient scanner strings.
+//
+//vitex:hotpath
+func (b *eventBatch) copied(s string) string {
+	if s == "" {
+		return ""
+	}
+	st := len(b.chars)
+	b.chars = append(b.chars, s...)
+	c := b.chars[st:]
+	return unsafe.String(&c[0], len(c))
 }
 
 // psession is one parallel evaluation's worth of mutable state: all machine
@@ -498,6 +522,9 @@ func (ps *psession) reset(opts []twigm.Options) {
 		ps.emitOn[slot] = opts[d].Emit != nil
 		ropts := opts[d]
 		ropts.Emit = ps.emits[slot]
+		// Batch character data lives in recycled eventBatch arenas, so any
+		// value a machine retains past the event must be copied.
+		ropts.CopyValues = true
 		ps.runs[slot].Reset(ropts)
 		if a := ps.ep.anchors[slot]; a >= 0 {
 			// Anchored machines read the prefix stacks of the worker that
@@ -592,6 +619,58 @@ func (p *producer) HandleEvent(ev *sax.Event) error {
 	b.events = append(b.events, e)
 	if len(b.events) == batchSize {
 		p.dispatch()
+	}
+	return nil
+}
+
+// HandleBatch implements sax.BatchHandler: the scanner hands over arrays of
+// events whose Text/Attr.Value strings die when this call returns, so every
+// event is copied by value with its transient strings re-homed into the
+// current eventBatch's chars arena (names are interned and stay as-is).
+// Counters and batch boundaries match per-event delivery exactly; the
+// abort/cancellation poll runs once per incoming array instead of once per
+// event, which only delays an abort by at most one scanner batch.
+//
+//vitex:hotpath
+func (p *producer) HandleBatch(evs []sax.Event) error {
+	if p.abort.Load() {
+		return errAborted
+	}
+	if p.done != nil {
+		select {
+		case <-p.done:
+			return p.ctx.Err()
+		default:
+		}
+	}
+	for i := range evs {
+		ev := &evs[i]
+		p.events++
+		if ev.Kind == sax.StartElement {
+			p.elements++
+			if ev.Depth > p.maxDepth {
+				p.maxDepth = ev.Depth
+			}
+		}
+		if p.cur == nil {
+			p.cur = p.batch()
+			p.cur.base = p.events
+		}
+		b := p.cur
+		e := *ev
+		e.Text = b.copied(ev.Text)
+		if len(ev.Attrs) > 0 {
+			start := len(b.attrs)
+			b.attrs = append(b.attrs, ev.Attrs...)
+			e.Attrs = b.attrs[start:len(b.attrs):len(b.attrs)]
+			for j := range e.Attrs {
+				e.Attrs[j].Value = b.copied(e.Attrs[j].Value)
+			}
+		}
+		b.events = append(b.events, e)
+		if len(b.events) == batchSize {
+			p.dispatch()
+		}
 	}
 	return nil
 }

@@ -246,6 +246,27 @@ type AttrInterest interface {
 	WantsAttrValue(elemNameID, attrNameID int32) bool
 }
 
+// BatchHandler is the high-throughput Handler refinement: a producer that
+// recognizes it delivers events in arrays of up to a few hundred instead of
+// one callback per event, amortizing the interface dispatch and letting the
+// producer defer per-event bookkeeping to a per-batch epoch.
+//
+// The contract is strictly more transient than Handler's: every string and
+// slice reachable from the batch — Text, Attr.Value, the Attrs backing array
+// — is valid ONLY until HandleBatch returns, after which the producer
+// recycles the arenas backing them (element names are the exception: they
+// are interned and stable for the producer's lifetime). A handler that
+// retains content must copy it before returning. Returning a non-nil error
+// aborts the parse exactly as Handler's would; events later in the slice are
+// the handler's to skip.
+//
+// Producers ignore TextInterest/AttrInterest on a BatchHandler: batch
+// content is arena-backed and allocation-free either way, and interest
+// answers would be stale for events the handler has not yet observed.
+type BatchHandler interface {
+	HandleBatch(evs []Event) error
+}
+
 // HandlerFunc adapts a function to the Handler interface.
 type HandlerFunc func(ev *Event) error
 

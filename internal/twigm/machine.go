@@ -3,10 +3,23 @@ package twigm
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/sax"
 	"repro/internal/xpath"
 )
+
+// retained returns v, copied when the producer's event strings are transient
+// (Options.CopyValues): a candidate's value outlives the delivery that
+// produced it, and Result.Value carries it out of the machine entirely.
+// Outlined so the hot handlers stay allocation-free on the stable-string
+// configurations the allocation discipline is proven on.
+func (r *Run) retained(v string) string {
+	if !r.opts.CopyValues {
+		return v
+	}
+	return strings.Clone(v)
+}
 
 // Result is one query solution, delivered through Options.Emit.
 type Result struct {
@@ -49,6 +62,15 @@ type Options struct {
 	// which may run ahead of document order when an early candidate's
 	// predicates resolve late.
 	Ordered bool
+	// CopyValues makes the run copy event-derived strings (text content,
+	// attribute values) the moment a candidate retains one: candidates
+	// outlive the delivery that produced them, and Result.Value carries
+	// the string out of the machine entirely. Required when the producer
+	// recycles the buffers backing event strings between deliveries (the
+	// sax.BatchHandler contract); with stable producer strings it only
+	// costs harmless extra copies. Comparisons and recorded fragments are
+	// unaffected either way — they never retain the event's string.
+	CopyValues bool
 	// DisablePrune turns off the push-time pruning of entries whose
 	// attribute predicates already failed (ablation benchmark).
 	DisablePrune bool
@@ -561,7 +583,7 @@ func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 			// attribute is always the output node (attributes end paths).
 			if m.isOutput {
 				c := r.newCandidate(ev.Offset + 1 + int64(attrIdx))
-				c.value = value
+				c.value = r.retained(value)
 				if r.anchor.CompatAttr(m.axis, d) {
 					r.confirm(c)
 				}
@@ -576,7 +598,7 @@ func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 		}
 		if m.isOutput {
 			c := r.newCandidate(ev.Offset + 1 + int64(attrIdx))
-			c.value = value
+			c.value = r.retained(value)
 			r.confirm(c)
 			r.resolveIfDead(c)
 		}
@@ -585,7 +607,7 @@ func (r *Run) attrEvent(m *node, value string, attrIdx int, ev *sax.Event) {
 	var c *candidate
 	if m.isOutput {
 		c = r.newCandidate(ev.Offset + 1 + int64(attrIdx))
-		c.value = value
+		c.value = r.retained(value)
 	}
 	r.propagate(m, d, c)
 	if c != nil {
@@ -621,7 +643,7 @@ func (r *Run) text(ev *sax.Event) {
 				// is always the output node (text() ends paths).
 				if m.isOutput && r.anchor.Open() {
 					c := r.newCandidate(ev.Offset)
-					c.value = ev.Text
+					c.value = r.retained(ev.Text)
 					if r.anchor.CompatElem(m.axis, ev.Depth) {
 						r.confirm(c)
 					}
@@ -632,7 +654,7 @@ func (r *Run) text(ev *sax.Event) {
 			// //text(): every text node is a solution.
 			if m.axis == xpath.Descendant && m.isOutput {
 				c := r.newCandidate(ev.Offset)
-				c.value = ev.Text
+				c.value = r.retained(ev.Text)
 				r.confirm(c)
 				r.resolveIfDead(c)
 			}
@@ -641,7 +663,7 @@ func (r *Run) text(ev *sax.Event) {
 		var c *candidate
 		if m.isOutput {
 			c = r.newCandidate(ev.Offset)
-			c.value = ev.Text
+			c.value = r.retained(ev.Text)
 		}
 		r.propagate(m, ev.Depth, c)
 		if c != nil {

@@ -1,0 +1,101 @@
+// Batched event delivery (sax.BatchHandler): instead of one HandleEvent
+// interface call per event, the scanner accumulates events in a pooled array
+// and hands the handler up to batchLimit of them per call. Character data
+// and attribute values of batched events are not interned: they are
+// unsafe.String views over a scanner-owned byte arena, valid only until
+// HandleBatch returns (the sax.BatchHandler contract), after which the batch,
+// its attribute backing array and the arena are truncated wholesale for
+// reuse — the zero-copy window the events "borrow" from. Element names stay
+// interned, stable strings: the routed engine dispatches on them across
+// documents.
+package xmlscan
+
+import (
+	"unsafe"
+
+	"repro/internal/sax"
+)
+
+// DefaultEventBatch is the number of events delivered per HandleBatch call
+// when batching is active. Sized so a batch (events + attrs + character
+// data) stays within a typical L1 data cache: the handler re-reads the
+// events the scanner just wrote.
+const DefaultEventBatch = 128
+
+// SetEventBatch overrides the batch size used when Run is given a
+// sax.BatchHandler. n <= 0 disables batching: the scanner then falls back to
+// per-event delivery (HandleEvent) with interned, stable strings even for a
+// handler that implements sax.BatchHandler — the configuration A/B
+// benchmarks and the batch-vs-per-event equivalence tests run.
+func (s *Scanner) SetEventBatch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.batchLimit = n
+}
+
+// arenaString copies b into the batch character-data arena and returns a
+// string view of the copy without a string header allocation. The view stays
+// valid until the arena is truncated at the next batch flush — growth is
+// safe: append may move the arena, but views into the old backing keep it
+// alive. Only called in batch mode.
+//
+//vitex:hotpath
+func (s *Scanner) arenaString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	st := len(s.arena)
+	s.arena = append(s.arena, b...)
+	a := s.arena[st:]
+	return unsafe.String(&a[0], len(a))
+}
+
+// batchSlot extends the batch by one event and returns the slot for the
+// emitter to fill in place — the batch array is sized to batchLimit at Run
+// setup and flushed before it fills, so the extension never reallocates and
+// events are written exactly once. The slot still holds a previous batch's
+// event; callers must store every field.
+//
+//vitex:hotpath
+func (s *Scanner) batchSlot() *sax.Event {
+	n := len(s.batch)
+	s.batch = s.batch[:n+1]
+	return &s.batch[n]
+}
+
+// batchQueued finishes queueing the event just written into a batch slot: an
+// attribute slice still aliasing the scanner's per-tag scratch (which the
+// next tag overwrites; the batch outlives it) is re-homed into the
+// batch-owned backing array, and a full batch flushes inline. fastStartTag
+// accumulates attributes in the backing array directly — its events arrive
+// as the array's tail, detected by pointer identity, and are left in place.
+//
+//vitex:hotpath
+func (s *Scanner) batchQueued(ev *sax.Event) error {
+	if n := len(ev.Attrs); n > 0 {
+		if bn := len(s.batchAttrs); bn < n || &ev.Attrs[0] != &s.batchAttrs[bn-n] {
+			st := bn
+			s.batchAttrs = append(s.batchAttrs, ev.Attrs...)
+			ev.Attrs = s.batchAttrs[st:len(s.batchAttrs):len(s.batchAttrs)]
+		}
+	}
+	if len(s.batch) >= s.batchLimit {
+		return s.flushBatch()
+	}
+	return nil
+}
+
+// flushBatch delivers the queued events and recycles the arenas. After the
+// handler returns, every Text/Attr.Value string handed out in this batch is
+// dead per the sax.BatchHandler contract.
+func (s *Scanner) flushBatch() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	err := s.bh.HandleBatch(s.batch)
+	s.batch = s.batch[:0]
+	s.batchAttrs = s.batchAttrs[:0]
+	s.arena = s.arena[:0]
+	return err
+}

@@ -70,20 +70,68 @@ func fuzzSeedDocs() []string {
 		`<r><a>]]></a></r>`,
 		"<r><élément>x</élément></r>",
 		`<r health="100%"><a/></r>`,
+		// Seam shapes: with the 16-byte-buffer self-consistency config every
+		// one of these straddles refill boundaries mid-token — long names,
+		// attribute values, CDATA/comment terminators and entity references
+		// split across windows, the cases the speculative fast paths must
+		// bail out of byte-identically.
+		"<rrrrrrrrrrrrrrrrrrrrrrrr><aaaaaaaaaaaaaaaaaaa>x</aaaaaaaaaaaaaaaaaaa></rrrrrrrrrrrrrrrrrrrrrrrr>",
+		`<r averyveryverylongattrname="a long value that spans several windows easily">x</r>`,
+		`<r a="padpadpadpad&amp;padpadpadpad" b='second attribute value'>x</r>`,
+		"<r><a>" + strings.Repeat("t", 13) + "<![CDATA[" + strings.Repeat("c", 13) + "]]>" + strings.Repeat("u", 13) + "</a></r>",
+		"<r><a>before<!--" + strings.Repeat("-x", 9) + "-->after</a></r>",
+		"<r><a>" + strings.Repeat("pad ", 4) + "&#x1F600;" + strings.Repeat(" pad", 4) + "</a></r>",
+		"<r><a>] ]] ]]&gt; " + strings.Repeat("]x", 9) + "</a></r>",
+		"<r><a   k  =  'spaced equals'   j='2'  >x</a  ></r>",
+		"<r>" + strings.Repeat("<a/>", 9) + strings.Repeat("\n", 17) + "</r>",
+		"<r><a>text<?pi " + strings.Repeat("d", 21) + "?>more</a></r>",
 	}
 }
 
 // compareFrontEnds runs both parsers over doc and reports any divergence
-// inside the oracle's scope.
+// inside the oracle's scope. It also holds the scanner to self-consistency
+// across its delivery and windowing configurations: batched and per-event
+// delivery, default and tiny read buffers, must produce identical event
+// streams and identical diagnostics. The tiny buffer (16 bytes) forces
+// refill seams inside nearly every token, driving the speculative fast
+// paths (fastStartTag, the end-tag compare, borrowed text runs) through
+// their bail-to-general-path branches on every input.
 func compareFrontEnds(t *testing.T, doc string) {
 	t.Helper()
+	custom, cerr := traceFuzzEvents(NewScanner(strings.NewReader(doc)))
+	for _, cfg := range []struct {
+		name    string
+		batch   int
+		bufSize int
+	}{
+		{"batch_default", DefaultEventBatch, 0},
+		{"batch3_buf16", 3, 16},
+		{"perevent_buf16", 0, 16},
+	} {
+		got, gerr := traceScannerEvents(doc, cfg.batch, cfg.bufSize)
+		if (gerr == nil) != (cerr == nil) || (gerr != nil && gerr.Error() != cerr.Error()) {
+			t.Fatalf("scanner config %s diverges on error:\ndefault: %v\n%s: %v\ndoc: %q",
+				cfg.name, cerr, cfg.name, gerr, doc)
+		}
+		if gerr != nil {
+			continue
+		}
+		if len(got) != len(custom) {
+			t.Fatalf("scanner config %s event count diverges: %d vs %d\ndoc: %q", cfg.name, len(got), len(custom), doc)
+		}
+		for i := range got {
+			if got[i] != custom[i] {
+				t.Fatalf("scanner config %s event %d diverges:\ndefault: %s\n%s: %s\ndoc: %q",
+					cfg.name, i, custom[i], cfg.name, got[i], doc)
+			}
+		}
+	}
 	if strings.Contains(doc, "<!DOCTYPE") || strings.Contains(doc, "<!ENTITY") {
 		// The scanner parses DOCTYPE internals (entity declarations
 		// included); encoding/xml skips them unparsed. Out of oracle
-		// scope.
+		// scope (the self-consistency checks above still ran).
 		return
 	}
-	custom, cerr := traceFuzzEvents(NewScanner(strings.NewReader(doc)))
 	std, serr := traceFuzzEvents(sax.NewStdDriver(strings.NewReader(doc)))
 	if cerr != nil && serr != nil {
 		return // both reject: agreement
@@ -105,25 +153,67 @@ func compareFrontEnds(t *testing.T, doc string) {
 	}
 }
 
-// traceFuzzEvents renders a driver's event stream into comparable lines:
-// kind, full/prefix/local names, depth, text, offset, and each attribute's
-// name and value.
+// renderFuzzEvent renders one event into a comparable line: kind,
+// full/prefix/local names, depth, text, offset, and each attribute's name
+// and value. The rendering copies every string, so it is safe for batched
+// events whose strings die when HandleBatch returns.
+func renderFuzzEvent(ev *sax.Event) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v|%s|%s|%s|d%d|%q|@%d", ev.Kind, ev.Name, ev.Prefix, ev.Local, ev.Depth, ev.Text, ev.Offset)
+	for i := range ev.Attrs {
+		a := &ev.Attrs[i]
+		fmt.Fprintf(&sb, "|%s/%s/%s=%q", a.Name, a.Prefix, a.Local, a.Value)
+	}
+	return sb.String()
+}
+
+// traceFuzzEvents renders a driver's per-event stream into comparable lines.
 func traceFuzzEvents(d sax.Driver) ([]string, error) {
 	var out []string
 	err := d.Run(sax.HandlerFunc(func(ev *sax.Event) error {
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "%v|%s|%s|%s|d%d|%q|@%d", ev.Kind, ev.Name, ev.Prefix, ev.Local, ev.Depth, ev.Text, ev.Offset)
-		for i := range ev.Attrs {
-			a := &ev.Attrs[i]
-			fmt.Fprintf(&sb, "|%s/%s/%s=%q", a.Name, a.Prefix, a.Local, a.Value)
-		}
-		out = append(out, sb.String())
+		out = append(out, renderFuzzEvent(ev))
 		return nil
 	}))
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// batchTracer renders events from either delivery contract; the scanner
+// picks batched delivery when the batch limit is positive.
+type batchTracer struct {
+	out []string
+}
+
+func (b *batchTracer) HandleEvent(ev *sax.Event) error {
+	b.out = append(b.out, renderFuzzEvent(ev))
+	return nil
+}
+
+func (b *batchTracer) HandleBatch(evs []sax.Event) error {
+	for i := range evs {
+		b.out = append(b.out, renderFuzzEvent(&evs[i]))
+	}
+	return nil
+}
+
+// traceScannerEvents runs the scanner over doc in a specific configuration:
+// batch is the event-batch size (0 = per-event delivery), bufSize a read
+// buffer size override (0 = default). In-package access to the buffer is
+// what lets the harness force refill seams inside tokens of ordinary test
+// documents.
+func traceScannerEvents(doc string, batch, bufSize int) ([]string, error) {
+	s := NewScanner(strings.NewReader(doc))
+	if bufSize > 0 {
+		s.buf = make([]byte, bufSize)
+	}
+	s.SetEventBatch(batch)
+	tr := &batchTracer{}
+	if err := s.Run(tr); err != nil {
+		return nil, err
+	}
+	return tr.out, nil
 }
 
 // TestFuzzSeedCorpusAgrees pins the seed corpus as a deterministic

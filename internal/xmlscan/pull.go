@@ -64,7 +64,7 @@ func (p *Puller) Next() (*sax.Event, error) {
 			// Mirror Run's end-of-input validation.
 			if len(p.s.stack) > 0 {
 				p.err = p.s.syntaxf(p.s.off, "unexpected EOF: %d element(s) still open, innermost <%s>",
-					len(p.s.stack), p.s.stack[len(p.s.stack)-1])
+					len(p.s.stack), p.s.stack[len(p.s.stack)-1].name)
 				return nil, p.err
 			}
 			if !p.s.seenRoot {

@@ -18,6 +18,7 @@
 package xmlscan
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -41,10 +42,22 @@ type Scanner struct {
 	off    int64  // byte offset of buf[pos] in the input
 	err    error  // sticky read error (io.EOF when input exhausted)
 	depth  int
-	stack  []string // open element names, for balance checking
-	text   []byte   // pending character-data run (reusable)
-	textAt int64    // offset of the first byte of the pending text run
-	valBuf []byte   //vitex:keep attribute-value scratch, truncated before each use
+	stack  []symEntry // open elements, for balance checking and end-tag fast path
+	text   []byte     // pending character-data run (reusable)
+	textAt int64      // offset of the first byte of the pending text run
+	// textBorrow is the zero-copy form of a pending text run: a slice of the
+	// read buffer itself, used when a run is one clean stretch that starts
+	// and ends inside the current window (the dominant shape). Anything that
+	// would invalidate the alias — the window moving (fill), more content
+	// joining the run (references, CDATA merges) — first copies it into
+	// text via materializeText. Invariant: textBorrow != nil implies
+	// len(text) == 0.
+	textBorrow []byte
+	// textNeedsCheck marks the pending run as containing expanded reference
+	// text, the one content source the fused scan loops do not validate
+	// inline; flushText then runs the full validateChars pass over the run.
+	textNeedsCheck bool
+	valBuf         []byte //vitex:keep attribute-value scratch, truncated before each use
 	// textCache interns short, recurring character-data runs (indentation
 	// whitespace, enumerated values) so they cost no allocation after the
 	// first occurrence. Bounded: past maxTextCacheEntries new strings are
@@ -72,7 +85,13 @@ type Scanner struct {
 	// collected into before the cache lookup.
 	syms     *sax.Symbols        //vitex:keep shared symbol table identity, fixed at construction
 	interned map[string]symEntry //vitex:keep cross-document name cache; Reset drops stale entries itself
-	nameBuf  []byte              //vitex:keep name scratch, truncated before each use
+	// nameSlots is the direct-mapped front of the name cache: a fixed
+	// power-of-2 table indexed by a hash computed over the name bytes,
+	// answering the overwhelmingly common case (a feed's recurring
+	// vocabulary) without the hashed map lookup. Misses and collisions fall
+	// through to the interned map, which stays the ground truth.
+	nameSlots []nameSlot //vitex:keep cross-document cache front; Reset invalidates with interned
+	nameBuf   []byte     //vitex:keep name scratch, truncated before each use
 	// symsLen is the symbol-table length observed at the last Reset, the
 	// staleness check for cached SymUnknown resolutions (see Reset).
 	symsLen int
@@ -81,6 +100,15 @@ type Scanner struct {
 	// they are expanded recursively at reference sites with depth and
 	// size guards (see expandEntity).
 	entities map[string]string
+	// ---- batched delivery (see batch.go) ----
+	// bh is the batch handler of the current Run (nil: per-event mode);
+	// batch/batchAttrs/arena are the pooled arrays one batch of events
+	// borrows from, truncated wholesale at each flush.
+	bh         sax.BatchHandler
+	batch      []sax.Event //vitex:keep warmed batch array, truncated at each flush
+	batchAttrs []sax.Attr  //vitex:keep warmed attr backing array, truncated at each flush
+	arena      []byte      //vitex:keep warmed character-data arena, truncated at each flush
+	batchLimit int         //vitex:keep construction-time batching knob (SetEventBatch)
 }
 
 // symEntry is one intern-cache slot: the canonical string for a name, its
@@ -93,6 +121,18 @@ type symEntry struct {
 	local  string
 	id     int32
 }
+
+// nameSlot is one direct-mapped name-cache entry; hash disambiguates the
+// slot's occupant (the full byte comparison against e.name decides).
+type nameSlot struct {
+	hash uint32
+	e    symEntry
+}
+
+// nameSlotCount sizes the direct-mapped name cache. Real feeds have tens of
+// distinct names; 512 slots make collisions rare while the table (~32KB)
+// stays resident for a pooled scanner.
+const nameSlotCount = 512
 
 // Entity-expansion guards: nesting depth and total expanded size, the
 // classic defenses against exponential-entity inputs ("billion laughs").
@@ -121,9 +161,10 @@ const DefaultBufferSize = 64 << 10
 // NewScanner returns a Scanner reading from r.
 func NewScanner(r io.Reader) *Scanner {
 	return &Scanner{
-		r:        r,
-		buf:      make([]byte, DefaultBufferSize),
-		interned: make(map[string]symEntry),
+		r:          r,
+		buf:        make([]byte, DefaultBufferSize),
+		interned:   make(map[string]symEntry),
+		batchLimit: DefaultEventBatch,
 	}
 }
 
@@ -156,6 +197,12 @@ func (s *Scanner) Reset(r io.Reader) {
 					delete(s.interned, name)
 				}
 			}
+			// The direct-mapped front may hold the dropped resolutions;
+			// clearing it wholesale is cheaper than probing (it refills
+			// from the map on the next document).
+			for i := range s.nameSlots {
+				s.nameSlots[i] = nameSlot{}
+			}
 		}
 	}
 	s.r = r
@@ -165,12 +212,19 @@ func (s *Scanner) Reset(r io.Reader) {
 	s.depth = 0
 	s.stack = s.stack[:0]
 	s.text = s.text[:0]
+	s.textBorrow = nil
 	s.textAt = 0
+	s.textNeedsCheck = false
 	s.attrs = s.attrs[:0]
-	// Drop the interest refinements captured from the previous Run's
-	// handler: a pooled Scanner must not pin the session it last served.
+	// Drop the interest refinements and batch handler captured from the
+	// previous Run's handler: a pooled Scanner must not pin the session it
+	// last served.
 	s.textInterest = nil
 	s.attrInterest = nil
+	s.bh = nil
+	s.batch = s.batch[:0]
+	s.batchAttrs = s.batchAttrs[:0]
+	s.arena = s.arena[:0]
 	s.seenRoot = false
 	s.started = false
 	s.bomChecked = false
@@ -286,14 +340,43 @@ func (s *Scanner) errIllegalChar(at int64, r rune) error {
 }
 
 // Run implements sax.Driver: it parses the whole document, delivering events
-// to h, and returns the first handler or syntax error.
+// to h, and returns the first handler or syntax error. A handler that
+// implements sax.BatchHandler gets the batched fast path: events arrive in
+// arrays of up to SetEventBatch per call, with character data and attribute
+// values backed by recycled arenas instead of interned strings (the
+// TextInterest/AttrInterest refinements are ignored — batch content is
+// allocation-free either way).
 func (s *Scanner) Run(h sax.Handler) error {
 	if s.started {
 		return fmt.Errorf("xmlscan: Scanner already ran; call Reset before reuse")
 	}
 	s.started = true
-	s.textInterest, _ = h.(sax.TextInterest)
-	s.attrInterest, _ = h.(sax.AttrInterest)
+	if bh, ok := h.(sax.BatchHandler); ok && s.batchLimit > 0 {
+		s.bh = bh
+		if cap(s.batch) < s.batchLimit {
+			// batchSlot extends without reallocating; size the array once
+			// per limit change.
+			s.batch = make([]sax.Event, 0, s.batchLimit)
+		}
+	} else {
+		s.textInterest, _ = h.(sax.TextInterest)
+		s.attrInterest, _ = h.(sax.AttrInterest)
+	}
+	err := s.run(h)
+	if s.bh != nil {
+		// Deliver everything scanned before the failure point — per-event
+		// mode has already delivered those events by the time a later
+		// syntax error surfaces, and a handler error among them would have
+		// aborted the parse first, so it takes precedence.
+		if ferr := s.flushBatch(); ferr != nil {
+			err = ferr
+		}
+		s.bh = nil
+	}
+	return err
+}
+
+func (s *Scanner) run(h sax.Handler) error {
 	if err := s.emit(h, sax.StartDocument, "", 0, "", nil, 0); err != nil {
 		return err
 	}
@@ -307,7 +390,7 @@ func (s *Scanner) Run(h sax.Handler) error {
 		}
 	}
 	if len(s.stack) > 0 {
-		return s.syntaxf(s.off, "unexpected EOF: %d element(s) still open, innermost <%s>", len(s.stack), s.stack[len(s.stack)-1])
+		return s.syntaxf(s.off, "unexpected EOF: %d element(s) still open, innermost <%s>", len(s.stack), s.stack[len(s.stack)-1].name)
 	}
 	if !s.seenRoot {
 		return s.syntaxf(s.off, "document has no root element")
@@ -357,6 +440,26 @@ func (s *Scanner) step(h sax.Handler) (bool, error) {
 	// surrounding text node, while comments and processing instructions
 	// are nodes of their own and therefore split text runs.
 	start := s.off
+	if s.end-s.pos >= 2 {
+		// In-window dispatch on the byte after '<' — one bounds check, no
+		// second peek — for the two tokens that dominate every stream.
+		switch c2 := s.buf[s.pos+1]; c2 {
+		case '?', '!':
+			// Cold tokens: fall to the general dispatch below.
+		case '/':
+			if err := s.flushText(h); err != nil {
+				return false, err
+			}
+			s.advance(2)
+			return false, s.scanEndTag(h, start)
+		default:
+			if err := s.flushText(h); err != nil {
+				return false, err
+			}
+			s.advance(1)
+			return false, s.scanStartTag(h, start)
+		}
+	}
 	s.advance(1)
 	c, ok = s.peek()
 	if !ok {
@@ -391,6 +494,9 @@ func (s *Scanner) fill() bool {
 	if s.err != nil {
 		return false
 	}
+	// The window is about to move; a borrowed text run aliasing it must be
+	// copied out first (fill is the only place the window moves).
+	s.materializeText()
 	if s.pos > 0 {
 		// Slide the unread tail to the front to make room.
 		copy(s.buf, s.buf[s.pos:s.end])
@@ -488,8 +594,12 @@ func isNameByte(c byte) bool {
 	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
 }
 
-// readNameBytes scans an XML Name into the reusable scratch buffer; the
-// returned slice is valid until the next readNameBytes call.
+// readNameBytes scans an XML Name and returns its bytes. When the whole name
+// sits inside the buffered window — the overwhelmingly common case — the
+// returned slice borrows directly from the read buffer, zero-copy: it stays
+// valid until the next fill, so callers must consume it (intern lookup,
+// comparison) before reading further input. Only a name cut by a refill seam
+// is accumulated in the scratch buffer.
 //
 //vitex:hotpath
 func (s *Scanner) readNameBytes() ([]byte, error) {
@@ -500,10 +610,23 @@ func (s *Scanner) readNameBytes() ([]byte, error) {
 	if !isNameStart(c) {
 		return nil, s.errBadNameStart(c)
 	}
-	s.nameBuf = s.nameBuf[:0]
+	start := s.pos
+	i := s.pos + 1
+	for i < s.end && nameByteTab[s.buf[i]] {
+		i++
+	}
+	if i < s.end {
+		b := s.buf[start:i]
+		s.advance(i - start)
+		return b, nil
+	}
+	// The window ended mid-name: switch to the scratch buffer and continue
+	// across refills.
+	s.nameBuf = append(s.nameBuf[:0], s.buf[start:i]...)
+	s.advance(i - start)
 	for {
 		c, ok := s.peek()
-		if !ok || !isNameByte(c) {
+		if !ok || !nameByteTab[c] {
 			break
 		}
 		s.nameBuf = append(s.nameBuf, c)
@@ -535,19 +658,58 @@ func (s *Scanner) readNameID() (symEntry, error) {
 	if err != nil {
 		return symEntry{}, err
 	}
-	if e, ok := s.interned[string(b)]; ok {
-		return e, nil // cache hit: validated when first interned
-	}
-	colons := 0
-	for _, c := range b {
-		if c == ':' {
-			colons++
+	return s.resolveName(b, start)
+}
+
+// nameHash mixes a name's length with its first, middle and last bytes — no
+// per-byte loop, so the scan loops that feed it stay pure table lookups. A
+// collision only costs a slot miss (resolveNameMiss rechecks against the
+// intern map, the ground truth), never correctness.
+//
+//vitex:hotpath
+func nameHash(b []byte) uint32 {
+	n := len(b)
+	h := uint32(n)<<24 ^ uint32(b[0])<<16 ^ uint32(b[n-1])<<8 ^ uint32(b[n>>1])
+	return h*2654435761 ^ h>>13
+}
+
+// resolveName validates and interns scanned name bytes (cache hits skip
+// validation: a cached name was validated when first interned). The hit path
+// is a direct-mapped probe on nameHash — names are a few bytes, already in
+// cache, so the hash costs less than the map's hashed lookup it replaces.
+//
+//vitex:hotpath
+func (s *Scanner) resolveName(b []byte, start int64) (symEntry, error) {
+	h := nameHash(b)
+	if len(s.nameSlots) == nameSlotCount {
+		if sl := &s.nameSlots[h&(nameSlotCount-1)]; sl.hash == h && sl.e.name == string(b) {
+			return sl.e, nil
 		}
 	}
-	if colons > 1 || !isXMLName(b) {
-		return symEntry{}, s.errInvalidName(start, b)
+	return s.resolveNameMiss(b, h, start)
+}
+
+// resolveNameMiss is the cold half of resolveName: the map lookup, the
+// validation and interning of first-sighted names, and the slot install.
+func (s *Scanner) resolveNameMiss(b []byte, h uint32, start int64) (symEntry, error) {
+	e, ok := s.interned[string(b)]
+	if !ok {
+		colons := 0
+		for _, c := range b {
+			if c == ':' {
+				colons++
+			}
+		}
+		if colons > 1 || !isXMLName(b) {
+			return symEntry{}, s.errInvalidName(start, b)
+		}
+		e = s.intern(b)
 	}
-	return s.intern(b), nil
+	if s.nameSlots == nil {
+		s.nameSlots = make([]nameSlot, nameSlotCount)
+	}
+	s.nameSlots[h&(nameSlotCount-1)] = nameSlot{hash: h, e: e}
+	return e, nil
 }
 
 // expect consumes the literal lit or fails.
@@ -566,56 +728,120 @@ func (s *Scanner) expect(lit string) error {
 
 // ---- token scanners ----
 
-// scanText accumulates character data up to the next '<'. Entity and
-// character references are resolved inline; CDATA sections are merged by the
-// caller loop (scanBang appends to s.text). Literal line endings are
-// normalized per XML 1.0 §2.11 ("\r\n" and lone "\r" become "\n"); character
-// references like &#13; are exempt, matching encoding/xml.
+// scanText accumulates character data up to the next '<'. Clean stretches —
+// no markup, references, line endings to normalize, or bytes needing rune
+// validation — are appended in bulk (cleanText, word-at-a-time) with
+// character validation fused into the scan; only the special bytes fall to
+// the per-byte cases below. Entity and character references are resolved
+// inline; CDATA sections are merged by the caller loop (scanBang appends to
+// s.text). Literal line endings are normalized per XML 1.0 §2.11 ("\r\n" and
+// lone "\r" become "\n"); character references like &#13; are exempt,
+// matching encoding/xml.
 //
 //vitex:hotpath
 func (s *Scanner) scanText() error {
+	s.materializeText()
 	if len(s.text) == 0 {
 		s.textAt = s.off
-	}
-	// brackets counts the literal ']' bytes immediately preceding the
-	// current position: the sequence "]]>" must not appear literally in
-	// character data (XML 1.0 §2.4; encoding/xml rejects it too). Escaped
-	// forms (&#93;&#93;&gt;) and runs split by markup are fine.
-	brackets := 0
-	for {
-		c, ok := s.peek()
-		if !ok || c == '<' {
+		// Borrowed fast path: a run that is one clean stretch starting and
+		// ending inside the current window is recorded as a slice of the
+		// read buffer itself — no copy into the accumulation buffer. The
+		// alias holds because nothing moves the window between here and the
+		// flush at the next markup token (fill materializes it if a refill
+		// intervenes after all, e.g. for a comment probing past the '<').
+		w := s.buf[s.pos:s.end]
+		if n := cleanText(w); n < len(w) && w[n] == '<' {
+			s.textBorrow = w[:n:n]
+			s.advance(n)
 			return nil
 		}
-		if c == '&' {
+	}
+	for {
+		if s.pos == s.end && !s.fill() {
+			return nil // EOF ends the run; step flushes and reports pending errors
+		}
+		if n := cleanText(s.buf[s.pos:s.end]); n > 0 {
+			s.text = append(s.text, s.buf[s.pos:s.pos+n]...)
+			s.advance(n)
+			if s.pos == s.end {
+				continue
+			}
+		}
+		switch c := s.buf[s.pos]; contentClass[c] {
+		case ccLT:
+			return nil
+		case ccAmp:
 			r, err := s.scanReference()
 			if err != nil {
 				return err
 			}
 			s.text = append(s.text, r...)
-			brackets = 0
-			continue
-		}
-		if c == '\r' {
+			// Expanded reference text is the one content source the fused
+			// scan does not validate; flushText runs the full pass.
+			s.textNeedsCheck = true
+		case ccCR:
 			s.advance(1)
 			if n, ok := s.peek(); ok && n == '\n' {
 				s.advance(1)
 			}
 			s.text = append(s.text, '\n')
-			brackets = 0
-			continue
+		case ccRB:
+			if err := s.scanTextBrackets(); err != nil {
+				return err
+			}
+		case ccHigh:
+			if err := s.appendRuneTo(&s.text, s.textAt); err != nil {
+				return err
+			}
+		default: // ccBad: a control byte the XML Char production forbids
+			return s.errIllegalChar(s.textAt, rune(c))
 		}
-		if c == '>' && brackets >= 2 {
-			return s.syntaxf(s.off, "unescaped ]]> not in CDATA section")
-		}
-		if c == ']' {
-			brackets++
-		} else {
-			brackets = 0
-		}
-		s.text = append(s.text, c)
-		s.advance(1)
 	}
+}
+
+// scanTextBrackets consumes a run of literal ']' bytes and rejects a
+// directly following '>' when the run could close a CDATA section: "]]>"
+// must not appear literally in character data (XML 1.0 §2.4; encoding/xml
+// rejects it too). Escaped forms (&#93;&#93;&gt;) and runs split by markup
+// are fine — references reset the run by construction, since scanText
+// re-enters the clean scan after appending them.
+//
+//vitex:hotpath
+func (s *Scanner) scanTextBrackets() error {
+	k := 0
+	for {
+		c, ok := s.peek()
+		if !ok || c != ']' {
+			if k >= 2 && ok && c == '>' {
+				return s.syntaxf(s.off, "unescaped ]]> not in CDATA section")
+			}
+			return nil
+		}
+		s.text = append(s.text, ']')
+		s.advance(1)
+		k++
+	}
+}
+
+// appendRuneTo validates one multi-byte UTF-8 sequence — refilling so
+// sequences split across a read boundary decode whole — and appends its
+// bytes to dst. at is the offset character errors are reported against (the
+// run start, matching the batch validateChars pass).
+//
+//vitex:hotpath
+func (s *Scanner) appendRuneTo(dst *[]byte, at int64) error {
+	for s.end-s.pos < utf8.UTFMax && s.fill() {
+	}
+	r, size := utf8.DecodeRune(s.buf[s.pos:s.end])
+	if r == utf8.RuneError && size == 1 {
+		return s.syntaxf(at, "invalid UTF-8")
+	}
+	if !inCharacterRange(r) {
+		return s.errIllegalChar(at, r)
+	}
+	*dst = append(*dst, s.buf[s.pos:s.pos+size]...)
+	s.advance(size)
+	return nil
 }
 
 // scanReference parses an entity or character reference starting at '&'.
@@ -825,53 +1051,261 @@ func (s *Scanner) validateChars(b []byte, at int64) error {
 	return nil
 }
 
-// internTextValidated resolves a character-data run to its interned string,
-// validating UTF-8 and the XML Char production once per distinct cached run:
-// validation is a pure function of the bytes, so a text-cache hit proves the
-// run was already validated when first interned — repeated feed vocabulary
-// pays one validation pass total, not one per occurrence.
+// materializeText copies a borrowed text run into the accumulation buffer.
+// Called before anything can invalidate the alias: the window moving (fill),
+// or more content joining the run (references, CDATA merges).
 //
 //vitex:hotpath
-func (s *Scanner) internTextValidated(b []byte, at int64) (string, error) {
-	if len(b) <= maxTextInternLen {
-		if v, ok := s.textCache[string(b)]; ok {
-			return v, nil
-		}
+func (s *Scanner) materializeText() {
+	if s.textBorrow == nil {
+		return
 	}
-	if err := s.validateChars(b, at); err != nil {
-		return "", err
-	}
-	return s.internText(b), nil
+	s.text = append(s.text, s.textBorrow...)
+	s.textBorrow = nil
 }
 
 //vitex:hotpath
 func (s *Scanner) flushText(h sax.Handler) error {
+	if b := s.textBorrow; b != nil {
+		// Borrowed run: clean by construction (no expanded references, no
+		// bytes needing validation), aliasing the read buffer only until the
+		// copy below (arena or intern) or the interest-gated drop.
+		s.textBorrow = nil
+		if s.depth == 0 {
+			if !isAllSpace(b) {
+				return s.syntaxf(s.textAt, "character data outside root element")
+			}
+			return nil
+		}
+		if s.bh != nil {
+			return s.emit(h, sax.Text, "", s.depth+1, s.arenaString(b), nil, s.textAt)
+		}
+		if s.textInterest != nil && !s.textInterest.WantsTextEvent() {
+			return s.emit(h, sax.Text, "", s.depth+1, "", nil, s.textAt)
+		}
+		return s.emit(h, sax.Text, "", s.depth+1, s.internText(b), nil, s.textAt)
+	}
 	if len(s.text) == 0 {
 		return nil
 	}
-	if s.depth > 0 && s.textInterest != nil && !s.textInterest.WantsTextEvent() {
-		// No consumer will read this run's content (sax.TextInterest):
-		// validate the characters and deliver the event with an empty
-		// string — the dominant steady-state allocation of value-free
-		// query workloads is the text materialization this skips.
+	if s.textNeedsCheck {
+		// The run contains expanded reference text, which the fused scan
+		// loops do not validate; everything else was validated as it was
+		// appended.
 		if err := s.validateChars(s.text, s.textAt); err != nil {
 			return err
 		}
+		s.textNeedsCheck = false
+	}
+	if s.depth == 0 {
+		// Character data outside the root element: only whitespace is
+		// tolerated, and no event is emitted either way.
+		if !isAllSpace(s.text) {
+			return s.syntaxf(s.textAt, "character data outside root element")
+		}
+		s.text = s.text[:0]
+		return nil
+	}
+	if s.bh != nil {
+		// Batched delivery: an arena-backed view, no interning, no
+		// interest gating (see sax.BatchHandler).
+		t := s.arenaString(s.text)
+		s.text = s.text[:0]
+		return s.emit(h, sax.Text, "", s.depth+1, t, nil, s.textAt)
+	}
+	if s.textInterest != nil && !s.textInterest.WantsTextEvent() {
+		// No consumer will read this run's content (sax.TextInterest):
+		// deliver the event with an empty string — the dominant
+		// steady-state allocation of value-free query workloads is the
+		// text materialization this skips.
 		s.text = s.text[:0]
 		return s.emit(h, sax.Text, "", s.depth+1, "", nil, s.textAt)
 	}
-	t, err := s.internTextValidated(s.text, s.textAt)
-	if err != nil {
-		return err
-	}
+	t := s.internText(s.text)
 	s.text = s.text[:0]
-	if s.depth == 0 {
-		if strings.TrimLeft(t, " \t\r\n") != "" {
-			return s.syntaxf(s.textAt, "character data outside root element")
-		}
-		return nil
-	}
 	return s.emit(h, sax.Text, "", s.depth+1, t, nil, s.textAt)
+}
+
+func isAllSpace(b []byte) bool {
+	for _, c := range b {
+		if !isSpace(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// fastStartTag is the speculative in-window start-tag parser: it scans the
+// tag with local indices and no per-byte cursor updates, handling the
+// dominant shapes — a name, optionally attributes with clean quoted values,
+// then '>' or '/>'. It consumes nothing until the whole tag has parsed, so
+// on ANY complication (window seam mid-tag, entity or line ending or
+// non-ASCII byte in a value, malformed syntax) it returns done=false and the
+// general scanStartTag path rescans from the same position, producing the
+// byte-identical event or diagnostic. Returning done=true means the tag was
+// fully consumed and emitted (or a post-parse error — invalid name,
+// duplicate attribute, handler failure — was raised exactly as the general
+// path would raise it).
+//
+//vitex:hotpath
+func (s *Scanner) fastStartTag(h sax.Handler, start int64) (bool, error) {
+	buf, i, end := s.buf, s.pos, s.end
+	if i >= end || !isNameStart(buf[i]) {
+		return false, nil
+	}
+	nst := i
+	i++
+	for i < end && nameByteTab[buf[i]] {
+		i++
+	}
+	if i >= end {
+		return false, nil // the name may continue past the window
+	}
+	name, err := s.resolveFast(buf[nst:i], nameHash(buf[nst:i]), start+1)
+	if err != nil {
+		return true, err
+	}
+	// Attributes accumulate straight into the destination their delivery
+	// mode needs: the batch-owned backing array (batch mode — batchQueued
+	// sees the event's slice already homed and skips its copy) or the
+	// per-tag scratch (per-event mode). att0 marks where this tag's
+	// attributes start; on a bail to the general path any entries already
+	// appended in batch mode are dead weight until the next flush truncates
+	// them, which is harmless.
+	var attrs []sax.Attr
+	att0 := 0
+	if s.bh != nil {
+		attrs = s.batchAttrs
+		att0 = len(attrs)
+	} else {
+		attrs = s.attrs[:0]
+	}
+	selfClose := false
+	for {
+		// Inter-attribute whitespace, then the tag-closing dispatch.
+		spaces := i
+		for i < end && isSpace(buf[i]) {
+			i++
+		}
+		if i >= end {
+			return false, nil
+		}
+		if c := buf[i]; c == '>' {
+			i++
+			break
+		} else if c == '/' {
+			if i+1 >= end {
+				return false, nil
+			}
+			if buf[i+1] != '>' {
+				return false, nil // let the general path diagnose
+			}
+			selfClose = true
+			i += 2
+			break
+		} else if spaces == i || !isNameStart(c) {
+			// Attribute without preceding whitespace, or a byte that
+			// starts no name: the general path raises the exact error.
+			return false, nil
+		}
+		ast := i
+		i++
+		for i < end && nameByteTab[buf[i]] {
+			i++
+		}
+		aend := i
+		for i < end && isSpace(buf[i]) {
+			i++
+		}
+		if i >= end || buf[i] != '=' {
+			return false, nil
+		}
+		i++
+		for i < end && isSpace(buf[i]) {
+			i++
+		}
+		if i >= end {
+			return false, nil
+		}
+		q := buf[i]
+		if q != '"' && q != '\'' {
+			return false, nil
+		}
+		qc := uint8(ccQuot)
+		if q == '\'' {
+			qc = ccApos
+		}
+		i++
+		vst := i
+		j := bytes.IndexByte(buf[i:end], q)
+		if j < 0 {
+			return false, nil
+		}
+		vb := buf[vst : vst+j]
+		if cleanAttrValue(vb, qc, swarOnes*uint64(q)) != len(vb) {
+			// A reference, line ending, non-ASCII or illegal byte: the
+			// general path normalizes, expands and validates it.
+			return false, nil
+		}
+		i = vst + j + 1
+		aname, err := s.resolveFast(buf[ast:aend], nameHash(buf[ast:aend]), start+1+int64(ast-nst))
+		if err != nil {
+			return true, err
+		}
+		for k := att0; k < len(attrs); k++ {
+			if attrs[k].Name == aname.name {
+				return true, s.errDupAttr(start, aname.name, name.name)
+			}
+		}
+		var aval string
+		if s.bh != nil {
+			aval = s.arenaString(vb)
+		} else if s.attrInterest == nil || s.attrInterest.WantsAttrValue(name.id, aname.id) {
+			aval = s.internText(vb)
+		}
+		attrs = append(attrs, sax.Attr{
+			Name: aname.name, Value: aval,
+			Prefix: aname.prefix, Local: aname.local, NameID: aname.id,
+		})
+	}
+	// Commit: one cursor update for the whole tag.
+	s.off += int64(i - s.pos)
+	s.pos = i
+	s.depth++
+	s.stack = append(s.stack, name)
+	var evAttrs []sax.Attr
+	if len(attrs) > att0 {
+		evAttrs = attrs[att0:len(attrs):len(attrs)]
+	}
+	if s.bh != nil {
+		s.batchAttrs = attrs
+	} else {
+		s.attrs = attrs
+	}
+	if err := s.emitTag(h, sax.StartElement, name, s.depth, evAttrs, start); err != nil {
+		return true, err
+	}
+	if selfClose {
+		if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, s.off); err != nil {
+			return true, err
+		}
+		s.closeElement()
+	}
+	return true, nil
+}
+
+// resolveFast resolves name bytes whose nameHash the caller already
+// computed: the direct-mapped probe of resolveName without the re-hash.
+// nameOff is the name's byte offset for diagnostics.
+//
+//vitex:hotpath
+func (s *Scanner) resolveFast(b []byte, hash uint32, nameOff int64) (symEntry, error) {
+	if len(s.nameSlots) == nameSlotCount {
+		if sl := &s.nameSlots[hash&(nameSlotCount-1)]; sl.hash == hash && sl.e.name == string(b) {
+			return sl.e, nil
+		}
+	}
+	return s.resolveNameMiss(b, hash, nameOff)
 }
 
 // scanStartTag parses "<name attr=... >" with '<' already consumed.
@@ -880,6 +1314,9 @@ func (s *Scanner) flushText(h sax.Handler) error {
 func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 	if s.seenRoot && s.depth == 0 {
 		return s.syntaxf(start, "multiple root elements")
+	}
+	if done, err := s.fastStartTag(h, start); done {
+		return err
 	}
 	name, err := s.readNameID()
 	if err != nil {
@@ -930,7 +1367,7 @@ func (s *Scanner) scanStartTag(h sax.Handler, start int64) error {
 		})
 	}
 	s.depth++
-	s.stack = append(s.stack, name.name)
+	s.stack = append(s.stack, name)
 	var evAttrs []sax.Attr
 	if len(s.attrs) > 0 {
 		evAttrs = s.attrs
@@ -966,34 +1403,38 @@ func (s *Scanner) scanAttrValue(wanted bool) (string, error) {
 	if q != '\'' && q != '"' {
 		return "", s.errUnquotedAttr(q)
 	}
+	qc := uint8(ccQuot)
+	if q == '\'' {
+		qc = ccApos
+	}
+	qpat := swarOnes * uint64(q)
 	s.valBuf = s.valBuf[:0]
+	needsCheck := false
 	for {
-		c, ok := s.peek()
-		if !ok {
+		if s.pos == s.end && !s.fill() {
 			return "", s.syntaxf(s.off, "unexpected EOF in attribute value")
 		}
-		if c == q {
-			s.advance(1)
-			if !wanted {
-				if err := s.validateChars(s.valBuf, start); err != nil {
-					return "", err
-				}
-				return "", nil
+		if n := cleanAttrValue(s.buf[s.pos:s.end], qc, qpat); n > 0 {
+			s.valBuf = append(s.valBuf, s.buf[s.pos:s.pos+n]...)
+			s.advance(n)
+			if s.pos == s.end {
+				continue
 			}
-			return s.internTextValidated(s.valBuf, start)
 		}
-		if c == '<' {
+		switch c := s.buf[s.pos]; {
+		case c == q:
+			s.advance(1)
+			return s.finishAttrValue(wanted, needsCheck, start)
+		case c == '<':
 			return "", s.syntaxf(s.off, "'<' not allowed in attribute value")
-		}
-		if c == '&' {
+		case c == '&':
 			r, err := s.scanReference()
 			if err != nil {
 				return "", err
 			}
 			s.valBuf = append(s.valBuf, r...)
-			continue
-		}
-		if c == '\r' {
+			needsCheck = true
+		case c == '\r':
 			// Line-ending normalization applies inside attribute
 			// values too (XML 1.0 §2.11, matching encoding/xml).
 			s.advance(1)
@@ -1001,18 +1442,84 @@ func (s *Scanner) scanAttrValue(wanted bool) (string, error) {
 				s.advance(1)
 			}
 			s.valBuf = append(s.valBuf, '\n')
-			continue
+		case c >= 0x80:
+			if err := s.appendRuneTo(&s.valBuf, start); err != nil {
+				return "", err
+			}
+		default: // a control byte the XML Char production forbids
+			return "", s.errIllegalChar(start, rune(c))
 		}
-		s.valBuf = append(s.valBuf, c)
-		s.advance(1)
 	}
 }
 
-// scanEndTag parses "</name>" with "</" already consumed.
+// finishAttrValue turns the scanned value bytes into the returned string:
+// an arena view in batch mode, "" when no consumer reads it
+// (sax.AttrInterest), an interned string otherwise. Reference expansions are
+// the only bytes the fused scan did not validate.
+//
+//vitex:hotpath
+func (s *Scanner) finishAttrValue(wanted, needsCheck bool, start int64) (string, error) {
+	if needsCheck {
+		if err := s.validateChars(s.valBuf, start); err != nil {
+			return "", err
+		}
+	}
+	if s.bh != nil {
+		return s.arenaString(s.valBuf), nil
+	}
+	if !wanted {
+		return "", nil
+	}
+	return s.internText(s.valBuf), nil
+}
+
+// scanEndTag parses "</name>" with "</" already consumed. The fast path
+// compares the scanned name bytes directly against the open element on the
+// stack: a match reuses that element's interned entry, skipping both the
+// rune-level name validation (the bytes were validated when the start tag
+// interned them) and the intern-cache lookup.
 //
 //vitex:hotpath
 func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
-	name, err := s.readNameID()
+	// In-window fast path: "</name>" with no whitespace, matching the open
+	// element byte-for-byte — one comparison against the stack top, no name
+	// scan or resolution. Anything else (window seam, "</name >", a
+	// mismatch) falls to the general path below, which rescans from the
+	// same position.
+	if s.depth > 0 {
+		top := &s.stack[len(s.stack)-1]
+		if n := len(top.name); s.end-s.pos > n &&
+			s.buf[s.pos+n] == '>' && string(s.buf[s.pos:s.pos+n]) == top.name {
+			name := *top
+			s.pos += n + 1
+			s.off += int64(n + 1)
+			if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
+				return err
+			}
+			s.closeElement()
+			return nil
+		}
+	}
+	b, err := s.readNameBytes()
+	if err != nil {
+		return err
+	}
+	if s.depth > 0 && string(b) == s.stack[len(s.stack)-1].name {
+		name := s.stack[len(s.stack)-1]
+		s.skipSpace()
+		if err := s.expect(">"); err != nil {
+			return err
+		}
+		if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
+			return err
+		}
+		s.closeElement()
+		return nil
+	}
+	// Unmatched or mismatched end tag: resolve the name fully so the
+	// diagnostics (invalid name, unmatched, mismatched — in that order,
+	// matching the single-path scan) carry the canonical strings.
+	name, err := s.resolveName(b, start)
 	if err != nil {
 		return err
 	}
@@ -1023,15 +1530,7 @@ func (s *Scanner) scanEndTag(h sax.Handler, start int64) error {
 	if s.depth == 0 {
 		return s.errUnmatchedEnd(start, name.name)
 	}
-	open := s.stack[len(s.stack)-1]
-	if open != name.name {
-		return s.errMismatchedEnd(start, name.name, open)
-	}
-	if err := s.emitTag(h, sax.EndElement, name, s.depth, nil, start); err != nil {
-		return err
-	}
-	s.closeElement()
-	return nil
+	return s.errMismatchedEnd(start, name.name, s.stack[len(s.stack)-1].name)
 }
 
 //vitex:hotpath
@@ -1059,6 +1558,29 @@ func (s *Scanner) scanPI(start int64) error {
 		return s.syntaxf(start, "invalid XML name %q", target)
 	}
 	isDecl := string(target) == "xml"
+	if !isDecl {
+		// Ordinary instruction: content is neither emitted nor validated,
+		// so skipping is a pure IndexByte hop between '?' bytes.
+		for {
+			if s.pos == s.end && !s.fill() {
+				return s.syntaxf(start, "unexpected EOF in processing instruction")
+			}
+			i := bytes.IndexByte(s.buf[s.pos:s.end], '?')
+			if i < 0 {
+				s.advance(s.end - s.pos)
+				continue
+			}
+			s.advance(i + 1)
+			c, ok := s.peek()
+			if !ok {
+				return s.syntaxf(start, "unexpected EOF in processing instruction")
+			}
+			if c == '>' {
+				s.advance(1)
+				return nil
+			}
+		}
+	}
 	var inst []byte
 	prev := byte(0)
 	for {
@@ -1214,28 +1736,48 @@ func (s *Scanner) skipDirective(start int64) error {
 }
 
 // scanComment skips "<!-- ... -->", enforcing the no-"--" rule loosely
-// (only the terminator is required).
+// (only the terminator is required). Content is not character-validated
+// (neither front-end looks inside comments), so the skip is a pure
+// bytes.IndexByte hop between '-' bytes.
 func (s *Scanner) scanComment(start int64) error {
 	if err := s.expect("--"); err != nil {
 		return err
 	}
-	var p1, p2 byte
 	for {
-		c, ok := s.readByte()
+		if s.pos == s.end && !s.fill() {
+			return s.syntaxf(start, "unexpected EOF in comment")
+		}
+		i := bytes.IndexByte(s.buf[s.pos:s.end], '-')
+		if i < 0 {
+			s.advance(s.end - s.pos)
+			continue
+		}
+		s.advance(i + 1)
+		c, ok := s.peek()
 		if !ok {
 			return s.syntaxf(start, "unexpected EOF in comment")
 		}
-		if p1 == '-' && p2 == '-' {
-			if c == '>' {
-				return nil
-			}
-			return s.syntaxf(s.off-1, "'--' not allowed inside comment")
+		if c != '-' {
+			continue // lone '-': ordinary content
 		}
-		p1, p2 = p2, c
+		s.advance(1)
+		c, ok = s.peek()
+		if !ok {
+			return s.syntaxf(start, "unexpected EOF in comment")
+		}
+		if c == '>' {
+			s.advance(1)
+			return nil
+		}
+		return s.syntaxf(s.off, "'--' not allowed inside comment")
 	}
 }
 
 // scanCDATA appends "<![CDATA[ ... ]]>" content to the pending text run.
+// Clean stretches go through the bulk scan (cleanCDATA) with character
+// validation fused in; ']' runs are resolved by direct lookahead — a run of
+// two or more followed by '>' terminates the section with the surplus
+// brackets as content, anything else is ordinary content.
 func (s *Scanner) scanCDATA(start int64) error {
 	if err := s.expect("[CDATA["); err != nil {
 		return err
@@ -1243,43 +1785,61 @@ func (s *Scanner) scanCDATA(start int64) error {
 	// A CDATA section outside the root element joins the pending text run
 	// like any character data: flushText rejects it if non-whitespace,
 	// tolerates it otherwise — the same verdicts encoding/xml produces.
+	// A borrowed run the section continues is copied out first (the appends
+	// below write into the accumulation buffer).
+	s.materializeText()
 	if len(s.text) == 0 {
 		s.textAt = start
 	}
-	// A two-byte lookbehind window delays content until it cannot be part
-	// of the "]]>" terminator. The window tracks its fill count explicitly:
-	// a byte-value sentinel would silently swallow literal NULs, hiding
-	// them from character validation (a bug the fuzz differential caught).
-	var win [2]byte
-	n := 0
-	prevCR := false
-	emit := func(b byte) {
-		// Line endings normalize here too (XML 1.0 §2.11).
-		switch {
-		case b == '\r':
-			s.text = append(s.text, '\n')
-			prevCR = true
-		case b == '\n' && prevCR:
-			prevCR = false
-		default:
-			s.text = append(s.text, b)
-			prevCR = false
-		}
-	}
 	for {
-		c, ok := s.readByte()
-		if !ok {
+		if s.pos == s.end && !s.fill() {
 			return s.syntaxf(start, "unexpected EOF in CDATA section")
 		}
-		if n == 2 && win[0] == ']' && win[1] == ']' && c == '>' {
-			return nil
+		if n := cleanCDATA(s.buf[s.pos:s.end]); n > 0 {
+			s.text = append(s.text, s.buf[s.pos:s.pos+n]...)
+			s.advance(n)
+			if s.pos == s.end {
+				continue
+			}
 		}
-		if n == 2 {
-			emit(win[0])
-			win[0], win[1] = win[1], c
-		} else {
-			win[n] = c
-			n++
+		switch c := s.buf[s.pos]; contentClass[c] {
+		case ccRB:
+			k := 0
+			for {
+				c2, ok := s.peek()
+				if !ok {
+					return s.syntaxf(start, "unexpected EOF in CDATA section")
+				}
+				if c2 == ']' {
+					s.advance(1)
+					k++
+					continue
+				}
+				if c2 == '>' && k >= 2 {
+					for ; k > 2; k-- {
+						s.text = append(s.text, ']')
+					}
+					s.advance(1)
+					return nil
+				}
+				for ; k > 0; k-- {
+					s.text = append(s.text, ']')
+				}
+				break
+			}
+		case ccCR:
+			// Line endings normalize here too (XML 1.0 §2.11).
+			s.advance(1)
+			if n, ok := s.peek(); ok && n == '\n' {
+				s.advance(1)
+			}
+			s.text = append(s.text, '\n')
+		case ccHigh:
+			if err := s.appendRuneTo(&s.text, s.textAt); err != nil {
+				return err
+			}
+		default: // ccBad: a control byte the XML Char production forbids
+			return s.errIllegalChar(s.textAt, rune(c))
 		}
 	}
 }
@@ -1426,22 +1986,42 @@ func (s *Scanner) skipDeclTail(start int64) error {
 	}
 }
 
-// emit delivers one event to the handler.
+// emit delivers one event to the handler (or queues it in batch mode). Both
+// paths fill a long-lived event struct through a pointer: a sax.Event is
+// over a hundred bytes, and building it as a literal then storing it costs a
+// bulk copy per event — the dominant cost of markup-dense scans before
+// per-field stores. Every field is written because the target slot carries
+// the previous event's values.
 //
 //vitex:hotpath
 func (s *Scanner) emit(h sax.Handler, k sax.Kind, name string, depth int, text string, attrs []sax.Attr, off int64) error {
-	s.event = sax.Event{Kind: k, Name: name, Depth: depth, Text: text, Attrs: attrs, Offset: off}
-	return h.HandleEvent(&s.event)
+	ev := &s.event
+	if s.bh != nil {
+		ev = s.batchSlot()
+	}
+	ev.Kind, ev.Name, ev.Prefix, ev.Local, ev.NameID = k, name, "", "", sax.SymNone
+	ev.Depth, ev.Text, ev.Offset = depth, text, off
+	ev.Attrs = attrs
+	if s.bh != nil {
+		return s.batchQueued(ev)
+	}
+	return h.HandleEvent(ev)
 }
 
 // emitTag delivers a start/end-element event carrying the name's QName split
-// and local-name symbol ID.
+// and local-name symbol ID (or queues it in batch mode).
 //
 //vitex:hotpath
 func (s *Scanner) emitTag(h sax.Handler, k sax.Kind, name symEntry, depth int, attrs []sax.Attr, off int64) error {
-	s.event = sax.Event{
-		Kind: k, Name: name.name, Prefix: name.prefix, Local: name.local,
-		NameID: name.id, Depth: depth, Attrs: attrs, Offset: off,
+	ev := &s.event
+	if s.bh != nil {
+		ev = s.batchSlot()
 	}
-	return h.HandleEvent(&s.event)
+	ev.Kind, ev.Name, ev.Prefix, ev.Local, ev.NameID = k, name.name, name.prefix, name.local, name.id
+	ev.Depth, ev.Text, ev.Offset = depth, "", off
+	ev.Attrs = attrs
+	if s.bh != nil {
+		return s.batchQueued(ev)
+	}
+	return h.HandleEvent(ev)
 }

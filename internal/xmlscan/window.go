@@ -1,0 +1,209 @@
+// Bulk content scanning: the scanner's fast paths classify whole buffered
+// windows at once instead of dispatching per byte. A 256-entry class table
+// drives short runs; windows of 8+ bytes go word-at-a-time (SWAR — "SIMD
+// within a register"), so clean content costs one load, a couple of ALU ops
+// and a branch per 8 bytes. "Clean" is context-dependent but always implies
+// the byte is a valid XML Char as ASCII: the clean prefix a scan returns
+// needs no further character validation, which is what lets the scanner fuse
+// validation into the skip loop and drop the separate validateChars pass on
+// runs without references.
+package xmlscan
+
+import "encoding/binary"
+
+// Byte classes. Every byte that at least one content context must stop at
+// gets a bit; a byte whose class intersects the context's stop mask ends the
+// clean run and is resolved by the caller's slow path.
+const (
+	ccLT   = 1 << 0 // '<'
+	ccAmp  = 1 << 1 // '&'
+	ccCR   = 1 << 2 // '\r' (line-ending normalization)
+	ccRB   = 1 << 3 // ']' (literal "]]>" detection)
+	ccQuot = 1 << 4 // '"'
+	ccApos = 1 << 5 // '\''
+	ccHigh = 1 << 6 // >= 0x80: multi-byte UTF-8, needs rune validation
+	ccBad  = 1 << 7 // control bytes the XML Char production forbids
+)
+
+// Per-context stop masks. The quote class of the active delimiter is OR'd
+// into attrStop at runtime (the other quote is ordinary content).
+const (
+	textStop  = ccLT | ccAmp | ccCR | ccRB | ccHigh | ccBad
+	cdataStop = ccCR | ccRB | ccHigh | ccBad
+	attrStop  = ccLT | ccAmp | ccCR | ccHigh | ccBad
+)
+
+var contentClass [256]uint8
+
+// nameByteTab mirrors isNameByte as a table so name scans classify with one
+// load per byte.
+var nameByteTab [256]bool
+
+func init() {
+	for c := 0; c < 0x20; c++ {
+		if c != '\t' && c != '\n' && c != '\r' {
+			contentClass[c] = ccBad
+		}
+	}
+	contentClass['\r'] = ccCR
+	contentClass['<'] = ccLT
+	contentClass['&'] = ccAmp
+	contentClass[']'] = ccRB
+	contentClass['"'] = ccQuot
+	contentClass['\''] = ccApos
+	for c := 0x80; c < 0x100; c++ {
+		contentClass[c] = ccHigh
+	}
+	for c := 0; c < 256; c++ {
+		nameByteTab[c] = isNameByte(byte(c))
+	}
+}
+
+// SWAR constants: swarOnes*c replicates byte c into every lane; a lane's
+// high bit in ((v-swarOnes) &^ v) & swarHighs is set iff that lane of v is
+// zero, the classic zero-byte detector.
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// dirtyText reports whether any of the 8 bytes in x stops a character-data
+// scan: '<' '&' ']' (stop bytes), anything below 0x20 (either a '\r' to
+// normalize or an illegal control — '\t'/'\n' also land here and are
+// re-cleared by the table loop), or anything >= 0x80 (UTF-8 lead or
+// continuation byte, validated rune-at-a-time).
+//
+//vitex:hotpath
+func dirtyText(x uint64) bool {
+	lt := x ^ (swarOnes * '<')
+	amp := x ^ (swarOnes * '&')
+	rb := x ^ (swarOnes * ']')
+	m := (lt-swarOnes)&^lt | (amp-swarOnes)&^amp | (rb-swarOnes)&^rb | (x-swarOnes*0x20)&^x | x
+	return m&swarHighs != 0
+}
+
+// dirtyCDATA is dirtyText minus '<' and '&', which are ordinary content
+// inside a CDATA section.
+//
+//vitex:hotpath
+func dirtyCDATA(x uint64) bool {
+	rb := x ^ (swarOnes * ']')
+	m := (rb-swarOnes)&^rb | (x-swarOnes*0x20)&^x | x
+	return m&swarHighs != 0
+}
+
+// dirtyAttr is the attribute-value variant: qpat is swarOnes*quote for the
+// active delimiter; ']' is ordinary content here.
+//
+//vitex:hotpath
+func dirtyAttr(x, qpat uint64) bool {
+	lt := x ^ (swarOnes * '<')
+	amp := x ^ (swarOnes * '&')
+	qv := x ^ qpat
+	m := (lt-swarOnes)&^lt | (amp-swarOnes)&^amp | (qv-swarOnes)&^qv | (x-swarOnes*0x20)&^x | x
+	return m&swarHighs != 0
+}
+
+// cleanText returns the length of the longest prefix of w that is plain,
+// already-valid character data — no markup, no references, no line endings
+// to normalize, no bytes needing rune-level validation. Words that are dirty
+// only because of '\t'/'\n' are cleared by the table loop and the word scan
+// resumes, so pretty-printed documents stay on the bulk path.
+//
+//vitex:hotpath
+func cleanText(w []byte) int {
+	// Byte-wise head: markup-dense streams see runs of a few bytes before
+	// the next '<', and w extends to the window end — resolve the first
+	// word's worth with the table before paying any word-scan setup.
+	head := len(w)
+	if head > 8 {
+		head = 8
+	}
+	i := 0
+	for i < head {
+		if contentClass[w[i]]&textStop != 0 {
+			return i
+		}
+		i++
+	}
+	if i == len(w) {
+		return i
+	}
+	for {
+		for len(w)-i >= 8 {
+			if dirtyText(binary.LittleEndian.Uint64(w[i:])) {
+				break
+			}
+			i += 8
+		}
+		n := i + 8
+		if n > len(w) {
+			n = len(w)
+		}
+		j := i
+		for j < n && contentClass[w[j]]&textStop == 0 {
+			j++
+		}
+		if j < n || n == len(w) {
+			return j
+		}
+		i = n
+	}
+}
+
+// cleanCDATA is cleanText for CDATA content: only ']' and the
+// normalization/validation classes stop the run.
+//
+//vitex:hotpath
+func cleanCDATA(w []byte) int {
+	i := 0
+	for {
+		for len(w)-i >= 8 {
+			if dirtyCDATA(binary.LittleEndian.Uint64(w[i:])) {
+				break
+			}
+			i += 8
+		}
+		n := i + 8
+		if n > len(w) {
+			n = len(w)
+		}
+		j := i
+		for j < n && contentClass[w[j]]&cdataStop == 0 {
+			j++
+		}
+		if j < n || n == len(w) {
+			return j
+		}
+		i = n
+	}
+}
+
+// cleanAttrValue is the attribute-value scan: qc is the class bit and qpat
+// the SWAR pattern of the active quote delimiter.
+//
+//vitex:hotpath
+func cleanAttrValue(w []byte, qc uint8, qpat uint64) int {
+	i := 0
+	stop := attrStop | qc
+	for {
+		for len(w)-i >= 8 {
+			if dirtyAttr(binary.LittleEndian.Uint64(w[i:]), qpat) {
+				break
+			}
+			i += 8
+		}
+		n := i + 8
+		if n > len(w) {
+			n = len(w)
+		}
+		j := i
+		for j < n && contentClass[w[j]]&stop == 0 {
+			j++
+		}
+		if j < n || n == len(w) {
+			return j
+		}
+		i = n
+	}
+}

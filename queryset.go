@@ -409,3 +409,15 @@ func (qs *QuerySet) EvalHistogram() obs.Snapshot {
 	defer qs.mu.Unlock()
 	return qs.eng.EvalHistogram()
 }
+
+// SetScanBatch tunes how many scanner events subsequent Stream calls deliver
+// to the evaluation session per batch (the built-in scanner only; the
+// UseStdParser path is always per-event). n > 0 sets the batch size, n == 0
+// restores the default, n < 0 disables batching so events are delivered one
+// at a time — the configurations performance experiments sweep. See
+// engine.Engine.SetScanBatch.
+func (qs *QuerySet) SetScanBatch(n int) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.eng.SetScanBatch(n)
+}

@@ -1,0 +1,80 @@
+package vitex
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// Batch-size sweep over the prefix-overlap workload (the queryset_100_overlap
+// bench workload): one standing set, the scanner's event-batch size varied
+// via SetScanBatch. The hypotheses/scanner-bandwidth experiment reads these
+// numbers to pick DefaultEventBatch; -1 is the per-event fallback arm.
+//
+// Run with:
+//
+//	go test -bench BenchmarkScanBatchOverlap -benchtime 2s -run xxx .
+func BenchmarkScanBatchOverlap(b *testing.B) {
+	doc := datagen.Portal{Articles: 400, Seed: 1}.String()
+	sources := datagen.OverlapQueries(100, 0.9, 0, 0, 42)
+	qs, err := NewQuerySet(sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := int64(0)
+	for _, bs := range []int{-1, 16, 32, 64, 128, 256, 512} {
+		name := "batch=" + strconv.Itoa(bs)
+		b.Run(name, func(b *testing.B) {
+			qs.SetScanBatch(bs)
+			defer qs.SetScanBatch(0)
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats, err := qs.Stream(strings.NewReader(doc), Options{CountOnly: true},
+					func(SetResult) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = stats[0].Events
+			}
+			if events > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+			}
+		})
+	}
+}
+
+// BenchmarkScanBatchTicker is the same sweep over the sparse ticker standing
+// set (the queryset_100 bench workload): markup-dense events, routed
+// dispatch with 5 machines woken per event.
+func BenchmarkScanBatchTicker(b *testing.B) {
+	doc := datagen.Ticker{Trades: 20000, Seed: 1}.String()
+	sources := datagen.SparseTickerQueries(10, 90)
+	qs, err := NewQuerySet(sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := int64(0)
+	for _, bs := range []int{-1, 16, 32, 64, 128, 256, 512} {
+		name := "batch=" + strconv.Itoa(bs)
+		b.Run(name, func(b *testing.B) {
+			qs.SetScanBatch(bs)
+			defer qs.SetScanBatch(0)
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats, err := qs.Stream(strings.NewReader(doc), Options{CountOnly: true},
+					func(SetResult) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = stats[0].Events
+			}
+			if events > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+			}
+		})
+	}
+}
